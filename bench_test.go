@@ -1,0 +1,230 @@
+package shasta_test
+
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation. Each benchmark runs the corresponding harness experiment and
+// reports the headline metric the paper's table or figure conveys as
+// testing.B custom metrics, so `go test -bench . -benchmem` prints the
+// reproduction alongside standard Go benchmarking output.
+//
+// The full reports (all rows and series) come from `go run ./cmd/shastabench`.
+
+import (
+	"io"
+	"testing"
+
+	"repro"
+	"repro/internal/apps"
+	"repro/internal/harness"
+)
+
+// benchOpts are the default experiment options for benchmarks.
+var benchOpts = harness.Options{Scale: 1}
+
+// runExperiment executes one harness experiment, discarding the report
+// (the metrics of interest are re-derived below).
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, ok := harness.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		if err := exp.Run(benchOpts, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// appMetrics runs one application configuration and reports its virtual
+// time and protocol counters.
+func appMetrics(b *testing.B, app string, cfg shasta.Config, varGran bool) apps.RunResult {
+	b.Helper()
+	f := apps.Registry[app]
+	var last apps.RunResult
+	for i := 0; i < b.N; i++ {
+		r, err := apps.Execute(f(1), cfg, varGran)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	return last
+}
+
+// BenchmarkTable1CheckingOverheads regenerates Table 1; the reported metric
+// is the average SMP-Shasta checking overhead in percent (paper: 24.0%).
+func BenchmarkTable1CheckingOverheads(b *testing.B) {
+	runExperiment(b, "table1")
+	seq, _ := apps.Execute(apps.NewLU(1, false), shasta.Config{Procs: 1, Hardware: true}, false)
+	chk, _ := apps.Execute(apps.NewLU(1, false), shasta.Config{Procs: 1, ForceSMPChecks: true}, false)
+	b.ReportMetric(100*(float64(chk.Result.ParallelCycles)/float64(seq.Result.ParallelCycles)-1),
+		"LU-smp-overhead-%")
+}
+
+// BenchmarkTable2VariableGranularity regenerates Table 2; the metric is
+// LU-Contig's 16-processor speedup improvement factor from the 2 KiB block
+// hint (paper: 8.8/4.5 = 1.96x).
+func BenchmarkTable2VariableGranularity(b *testing.B) {
+	runExperiment(b, "table2")
+	def := appMetrics(b, "LU-Contig", shasta.Config{Procs: 16, Clustering: 1}, false)
+	vg := appMetrics(b, "LU-Contig", shasta.Config{Procs: 16, Clustering: 1}, true)
+	b.ReportMetric(float64(def.Result.ParallelCycles)/float64(vg.Result.ParallelCycles),
+		"LU-Contig-granularity-gain-x")
+}
+
+// BenchmarkTable3LargerProblems regenerates Table 3 (double-scale inputs).
+func BenchmarkTable3LargerProblems(b *testing.B) {
+	runExperiment(b, "table3")
+}
+
+// BenchmarkFig3Speedups regenerates the Figure 3 speedup curves; the metric
+// is Ocean's 16-processor SMP-Shasta over Base-Shasta improvement (paper:
+// ~1.9x, the largest clustering gain).
+func BenchmarkFig3Speedups(b *testing.B) {
+	runExperiment(b, "fig3")
+	base := appMetrics(b, "Ocean", shasta.Config{Procs: 16, Clustering: 1}, false)
+	smp := appMetrics(b, "Ocean", shasta.Config{Procs: 16, Clustering: 4}, false)
+	b.ReportMetric(float64(base.Result.ParallelCycles)/float64(smp.Result.ParallelCycles),
+		"Ocean-16p-SMP-gain-x")
+}
+
+// BenchmarkFig4Breakdowns regenerates the Figure 4 execution-time
+// breakdowns.
+func BenchmarkFig4Breakdowns(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig5BreakdownsVarGran regenerates Figure 5 (variable
+// granularity).
+func BenchmarkFig5BreakdownsVarGran(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig6Misses regenerates Figure 6; the metric is the fraction of
+// Base-Shasta misses remaining under clustering 4 for Ocean at 16
+// processors (the paper's most dramatic reduction).
+func BenchmarkFig6Misses(b *testing.B) {
+	runExperiment(b, "fig6")
+	base := appMetrics(b, "Ocean", shasta.Config{Procs: 16, Clustering: 1}, false)
+	smp := appMetrics(b, "Ocean", shasta.Config{Procs: 16, Clustering: 4}, false)
+	b.ReportMetric(100*float64(smp.Result.Stats.TotalMisses())/float64(base.Result.Stats.TotalMisses()),
+		"Ocean-misses-remaining-%")
+}
+
+// BenchmarkFig7Messages regenerates Figure 7; the metric is total messages
+// remaining under clustering 4 relative to Base for Ocean at 16 processors.
+func BenchmarkFig7Messages(b *testing.B) {
+	runExperiment(b, "fig7")
+	base := appMetrics(b, "Ocean", shasta.Config{Procs: 16, Clustering: 1}, false)
+	smp := appMetrics(b, "Ocean", shasta.Config{Procs: 16, Clustering: 4}, false)
+	b.ReportMetric(100*float64(smp.Result.Stats.TotalMessages())/float64(base.Result.Stats.TotalMessages()),
+		"Ocean-messages-remaining-%")
+}
+
+// BenchmarkFig8Downgrades regenerates Figure 8; the metric is the share of
+// Water-Nsq downgrades needing all three downgrade messages at 16
+// processors (the paper's migratory-data outlier).
+func BenchmarkFig8Downgrades(b *testing.B) {
+	runExperiment(b, "fig8")
+	r := appMetrics(b, "Water-Nsq", shasta.Config{Procs: 16, Clustering: 4}, false)
+	frac, _ := r.Result.Stats.DowngradeDistribution()
+	b.ReportMetric(100*frac[3], "WaterNsq-3msg-downgrades-%")
+}
+
+// BenchmarkMicroDowngradeLatency regenerates the Section 4.4
+// microbenchmark; the metrics are the added latency of the first and each
+// additional downgrade (paper: ~10 us, then ~5 us).
+func BenchmarkMicroDowngradeLatency(b *testing.B) {
+	var lat [4]float64
+	for i := 0; i < b.N; i++ {
+		l, err := harness.MicroDowngradeLatency()
+		if err != nil {
+			b.Fatal(err)
+		}
+		lat = l
+	}
+	b.ReportMetric(lat[1]-lat[0], "first-downgrade-us")
+	b.ReportMetric((lat[3]-lat[1])/2, "per-extra-downgrade-us")
+}
+
+// BenchmarkANLComparison regenerates the Section 4.3 single-SMP
+// comparison; the metric is how much slower SMP-Shasta runs than
+// hardware-coherent execution on 4 processors, averaged over the
+// applications (paper: 12.7%).
+func BenchmarkANLComparison(b *testing.B) {
+	runExperiment(b, "anl")
+	var sum float64
+	for _, name := range apps.Names {
+		hw, _ := apps.Execute(apps.Registry[name](1),
+			shasta.Config{Procs: 4, Clustering: 4, Hardware: true}, false)
+		smp, _ := apps.Execute(apps.Registry[name](1),
+			shasta.Config{Procs: 4, Clustering: 4}, false)
+		sum += float64(smp.Result.ParallelCycles)/float64(hw.Result.ParallelCycles) - 1
+	}
+	b.ReportMetric(100*sum/float64(len(apps.Names)), "avg-slower-than-hw-%")
+}
+
+// --- Ablation benchmarks for the paper's proposed extensions (Section 3.1
+// optimizations the prototype did not yet implement, built here) ---
+
+// ablationRun executes the Ocean workload at 16 processors, clustering 4,
+// with the given extension configuration.
+func ablationRun(b *testing.B, mod func(*shasta.Config)) apps.RunResult {
+	b.Helper()
+	cfg := shasta.Config{Procs: 16, Clustering: 4}
+	if mod != nil {
+		mod(&cfg)
+	}
+	var last apps.RunResult
+	for i := 0; i < b.N; i++ {
+		r, err := apps.Execute(apps.NewOcean(1), cfg, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	return last
+}
+
+// BenchmarkAblationShareDirectory measures the message reduction from
+// sharing directory state among colocated processors (the paper's
+// "eliminating intra-node messages when requester and home are colocated").
+func BenchmarkAblationShareDirectory(b *testing.B) {
+	base := ablationRun(b, nil)
+	shared := ablationRun(b, func(c *shasta.Config) { c.ShareDirectory = true })
+	b.ReportMetric(100*float64(shared.Result.Stats.TotalMessages())/
+		float64(base.Result.Stats.TotalMessages()), "messages-remaining-%")
+	b.ReportMetric(float64(base.Result.ParallelCycles)/float64(shared.Result.ParallelCycles),
+		"speedup-x")
+}
+
+// BenchmarkAblationFastSync measures the paper's planned SMP-aware
+// hierarchical barrier against the message-based baseline.
+func BenchmarkAblationFastSync(b *testing.B) {
+	base := ablationRun(b, nil)
+	fast := ablationRun(b, func(c *shasta.Config) { c.FastSync = true })
+	b.ReportMetric(100*float64(fast.Result.Stats.TimeBy(shasta.SyncTime))/
+		float64(base.Result.Stats.TimeBy(shasta.SyncTime)), "sync-time-remaining-%")
+	b.ReportMetric(float64(base.Result.ParallelCycles)/float64(fast.Result.ParallelCycles),
+		"speedup-x")
+}
+
+// BenchmarkAblationSelectiveDowngrades quantifies what the private state
+// tables save against SoftFLASH-style broadcast shootdowns, on the
+// downgrade-heavy Water-Nsquared workload.
+func BenchmarkAblationSelectiveDowngrades(b *testing.B) {
+	run := func(broadcast bool) apps.RunResult {
+		cfg := shasta.Config{Procs: 16, Clustering: 4, BroadcastDowngrades: broadcast}
+		var last apps.RunResult
+		for i := 0; i < b.N; i++ {
+			r, err := apps.Execute(apps.NewWaterNsq(1), cfg, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = r
+		}
+		return last
+	}
+	selective := run(false)
+	broadcast := run(true)
+	b.ReportMetric(float64(broadcast.Result.Stats.MessagesBy(shasta.DowngradeMsg))/
+		float64(selective.Result.Stats.MessagesBy(shasta.DowngradeMsg)+1), "dg-msg-blowup-x")
+	b.ReportMetric(float64(broadcast.Result.ParallelCycles)/float64(selective.Result.ParallelCycles),
+		"broadcast-slowdown-x")
+}

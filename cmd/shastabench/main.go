@@ -1,0 +1,70 @@
+// Command shastabench regenerates the tables and figures of "Fine-Grain
+// Software Distributed Shared Memory on SMP Clusters" on the simulated
+// cluster.
+//
+// Usage:
+//
+//	shastabench [-scale N] [-apps a,b,c] [list | all | <experiment>...]
+//
+// Experiments: table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8 micro anl.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "problem size scale factor (1 = default experiment inputs)")
+	appsFlag := flag.String("apps", "", "comma-separated application subset (default: the experiment's own set)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: shastabench [-scale N] [-apps a,b,c] [list | all | <experiment>...]\n\nexperiments:\n")
+		for _, e := range harness.Experiments {
+			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.ID, e.Title)
+		}
+	}
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 || (len(args) == 1 && args[0] == "list") {
+		flag.Usage()
+		if len(args) == 0 {
+			os.Exit(2)
+		}
+		return
+	}
+
+	opts := harness.Options{Scale: *scale}
+	if *appsFlag != "" {
+		opts.Apps = strings.Split(*appsFlag, ",")
+	}
+
+	var ids []string
+	if len(args) == 1 && args[0] == "all" {
+		for _, e := range harness.Experiments {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = args
+	}
+
+	for _, id := range ids {
+		exp, ok := harness.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "shastabench: unknown experiment %q (try 'list')\n", id)
+			os.Exit(2)
+		}
+		fmt.Printf("=== %s: %s ===\n", exp.ID, exp.Title)
+		start := time.Now()
+		if err := exp.Run(opts, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "shastabench: %s: %v\n", exp.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %.1fs)\n\n", exp.ID, time.Since(start).Seconds())
+	}
+}

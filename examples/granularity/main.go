@@ -1,0 +1,80 @@
+// Granularity example: Shasta's variable coherence granularity.
+//
+// A unique feature of Shasta among software DSM systems is that the
+// coherence block size can differ per data structure, chosen with a hint at
+// allocation time. This example reproduces the essence of Table 2 on a
+// single data structure: 16 processors stream through a large array that a
+// remote processor produced. With 64-byte blocks every cache line is a
+// separate software miss (~20 us each); with 2048-byte blocks one miss
+// fetches 32 lines, so misses drop ~32x and the stall time collapses —
+// exactly why the paper's LU-Contig jumps from a speedup of 4.5 to 8.8.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func run(blockSize int) (ms float64, misses int64) {
+	cluster, err := shasta.NewCluster(shasta.Config{Procs: 16, Clustering: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const n = 1 << 15 // 32K float64s = 256 KiB
+	arr := cluster.Alloc(n*8, blockSize)
+	res := cluster.Run(func(p *shasta.Proc) {
+		procs := p.NumProcs()
+		lo, hi := p.ID()*n/procs, (p.ID()+1)*n/procs
+		// Producer phase: each processor fills its slice.
+		for i := lo; i < hi; i++ {
+			p.StoreF64(arr+shasta.Addr(i*8), float64(i))
+		}
+		p.Barrier()
+		if p.ID() == 0 {
+			p.ResetStats()
+		}
+		p.Barrier()
+		// Consumer phase: read a slice produced elsewhere, batched per
+		// 2 KiB chunk as a tuned application would.
+		src := (p.ID() + 5) % procs
+		slo, shi := src*n/procs, (src+1)*n/procs
+		sum := 0.0
+		for c := slo; c < shi; c += 256 {
+			end := c + 256
+			if end > shi {
+				end = shi
+			}
+			p.Batch([]shasta.BatchRef{{
+				Base:  arr + shasta.Addr(c*8),
+				Bytes: (end - c) * 8,
+			}}, func(b *shasta.Batch) {
+				for i := c; i < end; i++ {
+					sum += b.LoadF64(arr + shasta.Addr(i*8))
+					b.Compute(4)
+				}
+			})
+		}
+		p.Barrier()
+	})
+	return res.ParallelSeconds() * 1e3, res.Stats.TotalMisses()
+}
+
+func main() {
+	fmt.Println("16 processors each consume a 16 KiB slice produced on another node.")
+	fmt.Println()
+	fmt.Printf("%-12s %12s %12s\n", "block size", "misses", "time (ms)")
+	var base float64
+	for _, bs := range []int{64, 256, 1024, 2048} {
+		ms, misses := run(bs)
+		if bs == 64 {
+			base = ms
+		}
+		fmt.Printf("%-12d %12d %9.2f  (%.1fx)\n", bs, misses, ms, base/ms)
+	}
+	fmt.Println()
+	fmt.Println("Larger blocks amortize the per-miss protocol cost; the hint is per")
+	fmt.Println("allocation, so only the structures that benefit pay the false-sharing")
+	fmt.Println("risk of coarse granularity.")
+}

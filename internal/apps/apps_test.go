@@ -1,0 +1,163 @@
+package apps
+
+import (
+	"fmt"
+	"testing"
+
+	"repro"
+)
+
+// verifyApp checks a workload's parallel result against its sequential
+// reference across the protocol variants.
+func verifyApp(t *testing.T, name string, scale int, tol float64) {
+	t.Helper()
+	f, ok := Registry[name]
+	if !ok {
+		t.Fatalf("unknown app %q", name)
+	}
+	configs := []shasta.Config{
+		{Procs: 4, Clustering: 1},
+		{Procs: 8, Clustering: 4},
+		{Procs: 4, Clustering: 4, Hardware: true},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(fmt.Sprintf("P%d-C%d-hw%v", cfg.Procs, cfg.Clustering, cfg.Hardware), func(t *testing.T) {
+			if err := VerifyAgainstSequential(f, scale, cfg, tol); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestLUCorrectness(t *testing.T)       { verifyApp(t, "LU", 1, 1e-9) }
+func TestLUContigCorrectness(t *testing.T) { verifyApp(t, "LU-Contig", 1, 1e-9) }
+func TestOceanCorrectness(t *testing.T)    { verifyApp(t, "Ocean", 1, 1e-9) }
+
+func TestLUProducesMisses(t *testing.T) {
+	res, err := Execute(NewLU(1, true), shasta.Config{Procs: 8, Clustering: 1}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Result.Stats.TotalMisses() == 0 {
+		t.Fatal("LU on 8 processors produced no shared misses")
+	}
+	if res.Result.ParallelCycles <= 0 {
+		t.Fatal("no measured parallel time")
+	}
+}
+
+func TestOceanClusteringHelps(t *testing.T) {
+	// Nearest-neighbour Ocean should see fewer misses with clustering —
+	// the effect behind the paper's biggest win.
+	r1, err := Execute(NewOcean(1), shasta.Config{Procs: 8, Clustering: 1}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Execute(NewOcean(1), shasta.Config{Procs: 8, Clustering: 4}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.Result.Stats.TotalMisses() >= r1.Result.Stats.TotalMisses() {
+		t.Fatalf("clustering did not reduce Ocean misses: C1=%d C4=%d",
+			r1.Result.Stats.TotalMisses(), r4.Result.Stats.TotalMisses())
+	}
+}
+
+func TestCheckingOverheadOrdering(t *testing.T) {
+	// Sequential time (no checks) < with Base checks < with SMP checks,
+	// on one processor — the structure of Table 1.
+	seq, err := Execute(NewLU(1, false), shasta.Config{Procs: 1, Hardware: true}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Execute(NewLU(1, false), shasta.Config{Procs: 1}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smp, err := Execute(NewLU(1, false), shasta.Config{Procs: 1, ForceSMPChecks: true}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(seq.Result.ParallelCycles < base.Result.ParallelCycles) {
+		t.Errorf("base checks not slower than sequential: %d vs %d",
+			base.Result.ParallelCycles, seq.Result.ParallelCycles)
+	}
+	if base.Result.ParallelCycles > smp.Result.ParallelCycles {
+		t.Errorf("SMP checks cheaper than base checks: %d vs %d",
+			smp.Result.ParallelCycles, base.Result.ParallelCycles)
+	}
+}
+
+func TestBarnesCorrectness(t *testing.T)   { verifyApp(t, "Barnes", 1, 1e-6) }
+func TestFMMCorrectness(t *testing.T)      { verifyApp(t, "FMM", 1, 1e-6) }
+func TestRaytraceCorrectness(t *testing.T) { verifyApp(t, "Raytrace", 1, 1e-9) }
+func TestVolrendCorrectness(t *testing.T)  { verifyApp(t, "Volrend", 1, 1e-9) }
+func TestWaterNsqCorrectness(t *testing.T) { verifyApp(t, "Water-Nsq", 1, 1e-6) }
+func TestWaterSpCorrectness(t *testing.T)  { verifyApp(t, "Water-Sp", 1, 1e-6) }
+
+func TestAllAppsVariableGranularity(t *testing.T) {
+	// Every app must also verify with the Table 2 block-size hints, and
+	// those hints must not change results.
+	for _, name := range Names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			f := Registry[name]
+			seq, err := Execute(f(1), shasta.Config{Procs: 1, Hardware: true}, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := Execute(f(1), shasta.Config{Procs: 8, Clustering: 4}, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !CloseEnough(seq.Checksum, par.Checksum, 1e-6) {
+				t.Fatalf("checksum mismatch with variable granularity: %.12g vs %.12g",
+					seq.Checksum, par.Checksum)
+			}
+		})
+	}
+}
+
+func TestAllAppsDeterministic(t *testing.T) {
+	for _, name := range Names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			f := Registry[name]
+			r1, err := Execute(f(1), shasta.Config{Procs: 8, Clustering: 4}, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := Execute(f(1), shasta.Config{Procs: 8, Clustering: 4}, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r1.Checksum != r2.Checksum ||
+				r1.Result.ParallelCycles != r2.Result.ParallelCycles ||
+				r1.Result.Stats.TotalMisses() != r2.Result.Stats.TotalMisses() {
+				t.Fatalf("nondeterministic run: (%v,%d,%d) vs (%v,%d,%d)",
+					r1.Checksum, r1.Result.ParallelCycles, r1.Result.Stats.TotalMisses(),
+					r2.Checksum, r2.Result.ParallelCycles, r2.Result.Stats.TotalMisses())
+			}
+		})
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	if len(Names) != 9 {
+		t.Fatalf("expected the paper's 9 applications, have %d", len(Names))
+	}
+	for _, name := range Names {
+		f, ok := Registry[name]
+		if !ok {
+			t.Fatalf("app %q missing from registry", name)
+		}
+		w := f(1)
+		if w.Name() != name {
+			t.Errorf("factory for %q builds %q", name, w.Name())
+		}
+		if w.ProblemSize() == "" {
+			t.Errorf("app %q has no problem size description", name)
+		}
+	}
+}

@@ -1,0 +1,336 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"repro"
+)
+
+// Barnes models SPLASH-2 Barnes: a Barnes-Hut hierarchical N-body
+// simulation. Bodies live in a shared array; the quadtree of cells (with
+// centres of mass) lives in a shared cell array that every processor reads
+// during the force phase — the read-mostly structure whose coherence
+// granularity the paper raises to 512 bytes in Table 2.
+//
+// The tree is built into shared memory by processor 0 during (unmeasured)
+// initialization and reused for the measured force-and-advance steps; the
+// paper's parallel tree build contributes little time and its sharing
+// pattern (read-mostly cells) is carried by the force phase.
+type Barnes struct {
+	n       int
+	steps   int
+	theta   float64
+	body    F64Array // n * bodyWords
+	cell    F64Array // maxCells * cellWords
+	nCells  U32Array // [0] = number of cells in use
+	partial []float64
+	sum     float64
+}
+
+const (
+	bodyWords = 8 // x, y, vx, vy, ax, ay, mass, pad (64 bytes)
+	bPosX     = 0
+	bPosY     = 1
+	bVelX     = 2
+	bVelY     = 3
+	bAccX     = 4
+	bAccY     = 5
+	bMass     = 6
+
+	cellWords = 16 // 128 bytes: comX, comY, mass, size, child0..3, body0..3, nbody, leaf, pad
+	cComX     = 0
+	cComY     = 1
+	cMass     = 2
+	cSize     = 3
+	cChild    = 4  // 4 children indices (as float64; -1 = none)
+	cBody     = 8  // up to 4 body indices for leaves
+	cNBody    = 12 // number of bodies if leaf
+	cLeaf     = 13 // 1 if leaf
+	cCenterX  = 14
+	cCenterY  = 15
+)
+
+// NewBarnes builds the workload: 768 bodies per scale step (the paper runs
+// 16K-64K particles).
+func NewBarnes(scale int) *Barnes {
+	if scale < 1 {
+		scale = 1
+	}
+	return &Barnes{n: 768 * scale, steps: 2, theta: 0.6}
+}
+
+// Name implements Workload.
+func (w *Barnes) Name() string { return "Barnes" }
+
+// ProblemSize implements Workload.
+func (w *Barnes) ProblemSize() string { return fmt.Sprintf("%d particles", w.n) }
+
+// Setup implements Workload.
+func (w *Barnes) Setup(c *shasta.Cluster, variableGranularity bool) {
+	cellBlock := 64
+	if variableGranularity {
+		cellBlock = 512 // Table 2: cell and leaf arrays
+	}
+	maxCells := 4 * w.n
+	w.body = AllocF64(c, w.n*bodyWords, 64)
+	w.cell = AllocF64(c, maxCells*cellWords, cellBlock)
+	w.nCells = AllocU32(c, 16, 64)
+	w.partial = make([]float64, c.Procs())
+}
+
+func (w *Barnes) bf(i, f int) shasta.Addr { return w.body.At(i*bodyWords + f) }
+func (w *Barnes) cf(i, f int) shasta.Addr { return w.cell.At(i*cellWords + f) }
+
+func (w *Barnes) bodyRef(i int, store bool) shasta.BatchRef {
+	return shasta.BatchRef{Base: w.body.At(i * bodyWords), Bytes: bodyWords * 8, Store: store}
+}
+
+func (w *Barnes) cellRef(i int, store bool) shasta.BatchRef {
+	return shasta.BatchRef{Base: w.cell.At(i * cellWords), Bytes: cellWords * 8, Store: store}
+}
+
+// buildTree constructs the quadtree sequentially (processor 0, during
+// initialization). It returns the root cell index.
+func (w *Barnes) buildTree(p *shasta.Proc) {
+	next := 0
+	alloc := func(cx, cy, size float64) int {
+		id := next
+		next++
+		p.Batch([]shasta.BatchRef{w.cellRef(id, true)}, func(b *shasta.Batch) {
+			b.StoreF64(w.cf(id, cComX), 0)
+			b.StoreF64(w.cf(id, cComY), 0)
+			b.StoreF64(w.cf(id, cMass), 0)
+			b.StoreF64(w.cf(id, cSize), size)
+			for k := 0; k < 4; k++ {
+				b.StoreF64(w.cf(id, cChild+k), -1)
+				b.StoreF64(w.cf(id, cBody+k), -1)
+			}
+			b.StoreF64(w.cf(id, cNBody), 0)
+			b.StoreF64(w.cf(id, cLeaf), 1)
+			b.StoreF64(w.cf(id, cCenterX), cx)
+			b.StoreF64(w.cf(id, cCenterY), cy)
+		})
+		return id
+	}
+	const rootSize = 64.0
+	root := alloc(rootSize/2, rootSize/2, rootSize)
+
+	var insert func(cellID, bodyID int)
+	insert = func(cellID, bodyID int) {
+		leaf := p.LoadF64(w.cf(cellID, cLeaf)) != 0
+		if leaf {
+			nb := int(p.LoadF64(w.cf(cellID, cNBody)))
+			if nb < 4 {
+				p.StoreF64(w.cf(cellID, cBody+nb), float64(bodyID))
+				p.StoreF64(w.cf(cellID, cNBody), float64(nb+1))
+				return
+			}
+			// Split: push existing bodies down.
+			old := make([]int, nb)
+			for k := 0; k < nb; k++ {
+				old[k] = int(p.LoadF64(w.cf(cellID, cBody+k)))
+				p.StoreF64(w.cf(cellID, cBody+k), -1)
+			}
+			p.StoreF64(w.cf(cellID, cLeaf), 0)
+			p.StoreF64(w.cf(cellID, cNBody), 0)
+			for _, ob := range old {
+				insert(cellID, ob)
+			}
+			insert(cellID, bodyID)
+			return
+		}
+		cx := p.LoadF64(w.cf(cellID, cCenterX))
+		cy := p.LoadF64(w.cf(cellID, cCenterY))
+		size := p.LoadF64(w.cf(cellID, cSize))
+		x := p.LoadF64(w.bf(bodyID, bPosX))
+		y := p.LoadF64(w.bf(bodyID, bPosY))
+		q := 0
+		nx, ny := cx-size/4, cy-size/4
+		if x >= cx {
+			q |= 1
+			nx = cx + size/4
+		}
+		if y >= cy {
+			q |= 2
+			ny = cy + size/4
+		}
+		child := int(p.LoadF64(w.cf(cellID, cChild+q)))
+		if child < 0 {
+			child = alloc(nx, ny, size/2)
+			p.StoreF64(w.cf(cellID, cChild+q), float64(child))
+		}
+		insert(child, bodyID)
+	}
+	for i := 0; i < w.n; i++ {
+		insert(root, i)
+	}
+
+	// Compute centres of mass bottom-up.
+	var summarize func(cellID int) (mx, my, m float64)
+	summarize = func(cellID int) (float64, float64, float64) {
+		var mx, my, m float64
+		if p.LoadF64(w.cf(cellID, cLeaf)) != 0 {
+			nb := int(p.LoadF64(w.cf(cellID, cNBody)))
+			for k := 0; k < nb; k++ {
+				b := int(p.LoadF64(w.cf(cellID, cBody+k)))
+				bm := p.LoadF64(w.bf(b, bMass))
+				mx += bm * p.LoadF64(w.bf(b, bPosX))
+				my += bm * p.LoadF64(w.bf(b, bPosY))
+				m += bm
+			}
+		} else {
+			for q := 0; q < 4; q++ {
+				child := int(p.LoadF64(w.cf(cellID, cChild+q)))
+				if child >= 0 {
+					cx, cy, cm := summarize(child)
+					mx, my, m = mx+cx, my+cy, m+cm
+				}
+			}
+		}
+		if m > 0 {
+			p.StoreF64(w.cf(cellID, cComX), mx/m)
+			p.StoreF64(w.cf(cellID, cComY), my/m)
+		}
+		p.StoreF64(w.cf(cellID, cMass), m)
+		return mx, my, m
+	}
+	summarize(root)
+	p.StoreU32(w.nCells.At(0), uint32(next))
+}
+
+// force computes the acceleration on body i by walking the tree.
+func (w *Barnes) force(p *shasta.Proc, i int) (ax, ay float64) {
+	x := p.LoadF64(w.bf(i, bPosX))
+	y := p.LoadF64(w.bf(i, bPosY))
+	var walk func(cellID int)
+	walk = func(cellID int) {
+		p.Batch([]shasta.BatchRef{w.cellRef(cellID, false)}, func(b *shasta.Batch) {
+			m := b.LoadF64(w.cf(cellID, cMass))
+			if m == 0 {
+				return
+			}
+			size := b.LoadF64(w.cf(cellID, cSize))
+			comX := b.LoadF64(w.cf(cellID, cComX))
+			comY := b.LoadF64(w.cf(cellID, cComY))
+			dx, dy := comX-x, comY-y
+			dist2 := dx*dx + dy*dy + 0.05
+			b.Compute(60) // traversal arithmetic + opening criterion
+			leaf := b.LoadF64(w.cf(cellID, cLeaf)) != 0
+			if !leaf && size*size > w.theta*w.theta*dist2 {
+				// Too close: recurse into children.
+				for q := 0; q < 4; q++ {
+					child := int(b.LoadF64(w.cf(cellID, cChild+q)))
+					if child >= 0 {
+						walk(child)
+					}
+				}
+				return
+			}
+			if leaf {
+				nb := int(b.LoadF64(w.cf(cellID, cNBody)))
+				for k := 0; k < nb; k++ {
+					j := int(b.LoadF64(w.cf(cellID, cBody+k)))
+					if j == i {
+						continue
+					}
+					jm := p.LoadF64(w.bf(j, bMass))
+					jx := p.LoadF64(w.bf(j, bPosX))
+					jy := p.LoadF64(w.bf(j, bPosY))
+					ddx, ddy := jx-x, jy-y
+					d2 := ddx*ddx + ddy*ddy + 0.05
+					f := jm / (d2 * math.Sqrt(d2))
+					ax += f * ddx
+					ay += f * ddy
+					p.Compute(110) // sqrt + divide on the 21164
+
+				}
+				return
+			}
+			f := m / (dist2 * math.Sqrt(dist2))
+			ax += f * dx
+			ay += f * dy
+			p.Compute(110)
+		})
+	}
+	walk(0)
+	return ax, ay
+}
+
+// Body implements Workload.
+func (w *Barnes) Body(p *shasta.Proc) {
+	n, procs := w.n, p.NumProcs()
+	lo, hi := blockRange(n, procs, p.ID())
+
+	// Initialization: owners place bodies in a Plummer-like disc; proc 0
+	// builds the tree.
+	for i := lo; i < hi; i++ {
+		r := newRNG(uint64(3000 + i))
+		p.Batch([]shasta.BatchRef{w.bodyRef(i, true)}, func(b *shasta.Batch) {
+			ang := r.rangeF(0, 2*math.Pi)
+			rad := 4 + 24*r.f64()*r.f64()
+			b.StoreF64(w.bf(i, bPosX), 32+rad*math.Cos(ang))
+			b.StoreF64(w.bf(i, bPosY), 32+rad*math.Sin(ang))
+			b.StoreF64(w.bf(i, bVelX), -0.05*math.Sin(ang))
+			b.StoreF64(w.bf(i, bVelY), 0.05*math.Cos(ang))
+			b.StoreF64(w.bf(i, bMass), r.rangeF(0.5, 1.5))
+		})
+	}
+	p.Barrier()
+	if p.ID() == 0 {
+		w.buildTree(p)
+	}
+	p.Barrier()
+	if p.ID() == 0 {
+		p.ResetStats()
+	}
+	p.Barrier()
+
+	const dt = 0.05
+	for step := 0; step < w.steps; step++ {
+		// Force phase: everyone walks the shared tree for its bodies.
+		for i := lo; i < hi; i++ {
+			ax, ay := w.force(p, i)
+			p.Batch([]shasta.BatchRef{w.bodyRef(i, true)}, func(b *shasta.Batch) {
+				b.StoreF64(w.bf(i, bAccX), ax)
+				b.StoreF64(w.bf(i, bAccY), ay)
+			})
+		}
+		p.Barrier()
+		// Advance phase: owners integrate.
+		for i := lo; i < hi; i++ {
+			p.Batch([]shasta.BatchRef{w.bodyRef(i, true)}, func(b *shasta.Batch) {
+				vx := b.LoadF64(w.bf(i, bVelX)) + dt*b.LoadF64(w.bf(i, bAccX))
+				vy := b.LoadF64(w.bf(i, bVelY)) + dt*b.LoadF64(w.bf(i, bAccY))
+				b.StoreF64(w.bf(i, bVelX), vx)
+				b.StoreF64(w.bf(i, bVelY), vy)
+				b.StoreF64(w.bf(i, bPosX), b.LoadF64(w.bf(i, bPosX))+dt*vx)
+				b.StoreF64(w.bf(i, bPosY), b.LoadF64(w.bf(i, bPosY))+dt*vy)
+				b.Compute(40)
+			})
+		}
+		p.Barrier()
+	}
+	if p.ID() == 0 {
+		p.EndMeasured()
+	}
+
+	var sum float64
+	for i := lo; i < hi; i++ {
+		for d := 0; d < 4; d++ {
+			sum += p.LoadF64(w.bf(i, d)) * (1 + float64((i*3+d)%23)/23)
+		}
+	}
+	w.partial[p.ID()] = sum
+	p.Barrier()
+	if p.ID() == 0 {
+		total := 0.0
+		for _, v := range w.partial {
+			total += v
+		}
+		w.sum = total
+	}
+}
+
+// Checksum implements Workload.
+func (w *Barnes) Checksum() float64 { return w.sum }

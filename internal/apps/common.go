@@ -1,0 +1,194 @@
+// Package apps implements the nine SPLASH-2 applications of the paper's
+// evaluation — Barnes, FMM, LU, LU-Contiguous, Ocean, Raytrace, Volrend,
+// Water-Nsquared and Water-Spatial — as parallel kernels over the public
+// shasta API. Each kernel reproduces the sharing and communication pattern
+// the paper's results depend on (migratory molecule records, read-mostly
+// trees and maps, nearest-neighbour grids, falsely-shared matrix rows), and
+// verifies its parallel result against a sequential reference.
+//
+// Problem sizes are scaled down from the paper's (the simulator interprets
+// every shared access); every workload records its parameters so the
+// experiment harness can report them.
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"repro"
+)
+
+// Workload is one benchmark application instance. A Workload is single-use:
+// build, Setup, Run (through a cluster), Verify.
+type Workload interface {
+	// Name returns the application's SPLASH-2 name.
+	Name() string
+	// ProblemSize describes the input, e.g. "256x256 matrix".
+	ProblemSize() string
+	// Setup allocates shared data on the cluster. The variableGranularity
+	// flag applies the paper's Table 2 per-structure block size hints.
+	Setup(c *shasta.Cluster, variableGranularity bool)
+	// Body is the per-processor program: initialization, a ResetStats
+	// barrier, the measured parallel phase, an EndMeasured barrier, and a
+	// verification pass that records a checksum.
+	Body(p *shasta.Proc)
+	// Checksum returns the result checksum recorded by Body, for
+	// comparison between parallel and sequential runs.
+	Checksum() float64
+}
+
+// Factory builds a workload at a problem scale. Scale 1 is the default
+// experiment size; larger scales approach the paper's inputs.
+type Factory func(scale int) Workload
+
+// Registry maps the paper's application names to factories.
+var Registry = map[string]Factory{
+	"Barnes":    func(s int) Workload { return NewBarnes(s) },
+	"FMM":       func(s int) Workload { return NewFMM(s) },
+	"LU":        func(s int) Workload { return NewLU(s, false) },
+	"LU-Contig": func(s int) Workload { return NewLU(s, true) },
+	"Ocean":     func(s int) Workload { return NewOcean(s) },
+	"Raytrace":  func(s int) Workload { return NewRaytrace(s) },
+	"Volrend":   func(s int) Workload { return NewVolrend(s) },
+	"Water-Nsq": func(s int) Workload { return NewWaterNsq(s) },
+	"Water-Sp":  func(s int) Workload { return NewWaterSp(s) },
+}
+
+// Names lists the applications in the paper's table order.
+var Names = []string{
+	"Barnes", "FMM", "LU", "LU-Contig", "Ocean",
+	"Raytrace", "Volrend", "Water-Nsq", "Water-Sp",
+}
+
+// RunResult bundles a completed workload execution.
+type RunResult struct {
+	Result   shasta.Result
+	Checksum float64
+}
+
+// Execute sets up and runs a workload on a fresh cluster with the given
+// configuration.
+func Execute(w Workload, cfg shasta.Config, variableGranularity bool) (RunResult, error) {
+	c, err := shasta.NewCluster(cfg)
+	if err != nil {
+		return RunResult{}, err
+	}
+	w.Setup(c, variableGranularity)
+	res := c.Run(w.Body)
+	return RunResult{Result: res, Checksum: w.Checksum()}, nil
+}
+
+// VerifyAgainstSequential runs the factory's workload both sequentially
+// (one processor, no checks) and with the given parallel configuration, and
+// compares checksums within a relative tolerance (parallel reduction orders
+// differ slightly in floating point).
+func VerifyAgainstSequential(f Factory, scale int, cfg shasta.Config, tol float64) error {
+	seq, err := Execute(f(scale), shasta.Config{Procs: 1, Hardware: true}, false)
+	if err != nil {
+		return fmt.Errorf("sequential run: %w", err)
+	}
+	par, err := Execute(f(scale), cfg, false)
+	if err != nil {
+		return fmt.Errorf("parallel run: %w", err)
+	}
+	if !CloseEnough(seq.Checksum, par.Checksum, tol) {
+		return fmt.Errorf("checksum mismatch: sequential %.12g vs parallel %.12g",
+			seq.Checksum, par.Checksum)
+	}
+	return nil
+}
+
+// CloseEnough compares two checksums within relative tolerance tol.
+func CloseEnough(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return diff <= tol*scale
+}
+
+// --- Shared-memory array helpers ---
+
+// F64Array is a view of a shared float64 array.
+type F64Array struct {
+	Base shasta.Addr
+	Len  int
+}
+
+// AllocF64 allocates a shared float64 array with the given block size.
+func AllocF64(c *shasta.Cluster, n int, blockSize int) F64Array {
+	return F64Array{Base: c.Alloc(int64(n)*8, blockSize), Len: n}
+}
+
+// AllocF64Placed allocates a shared float64 array homed at one processor.
+func AllocF64Placed(c *shasta.Cluster, n int, blockSize, home int) F64Array {
+	return F64Array{Base: c.AllocPlaced(int64(n)*8, blockSize, home), Len: n}
+}
+
+// At returns the address of element i.
+func (a F64Array) At(i int) shasta.Addr { return a.Base + shasta.Addr(i*8) }
+
+// Slice returns the address range [i, j) as a batch reference.
+func (a F64Array) Slice(i, j int, store bool) shasta.BatchRef {
+	return shasta.BatchRef{Base: a.At(i), Bytes: (j - i) * 8, Store: store}
+}
+
+// U32Array is a view of a shared uint32 array.
+type U32Array struct {
+	Base shasta.Addr
+	Len  int
+}
+
+// AllocU32 allocates a shared uint32 array.
+func AllocU32(c *shasta.Cluster, n int, blockSize int) U32Array {
+	return U32Array{Base: c.Alloc(int64(n)*4, blockSize), Len: n}
+}
+
+// At returns the address of element i.
+func (a U32Array) At(i int) shasta.Addr { return a.Base + shasta.Addr(i*4) }
+
+// blockRange returns the [lo, hi) slice of n items assigned to processor id
+// out of nproc, balanced to within one item.
+func blockRange(n, nproc, id int) (int, int) {
+	per := n / nproc
+	rem := n % nproc
+	lo := id*per + min(id, rem)
+	hi := lo + per
+	if id < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// rng is a small deterministic linear congruential generator used by the
+// workloads to build inputs identically in every run.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{s: seed*2862933555777941757 + 3037000493} }
+
+func (r *rng) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s
+}
+
+// f64 returns a uniform value in [0, 1).
+func (r *rng) f64() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// rangeF returns a uniform value in [lo, hi).
+func (r *rng) rangeF(lo, hi float64) float64 { return lo + (hi-lo)*r.f64() }
+
+// intn returns a uniform integer in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }

@@ -1,0 +1,25 @@
+package apps
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/protocol"
+)
+
+func TestFMMDebug(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("diagnostic; run with -v")
+	}
+	defer protocol.SetDebugBatchFlagReads(false)
+	protocol.SetDebugBatchFlagReads(true)
+	protocol.SetDebugTraceBlock(50)
+	defer protocol.SetDebugTraceBlock(-1)
+	debugFMM = true
+	defer func() { debugFMM = false }()
+	res, err := Execute(NewFMM(1), shasta.Config{Procs: 8, Clustering: 4}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("checksum %v", res.Checksum)
+}

@@ -1,0 +1,192 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// Ocean models the SPLASH-2 Ocean simulation: iterative red-black
+// successive over-relaxation on two-dimensional grids, with processors
+// owning contiguous strips of rows and communicating only at strip
+// boundaries. This nearest-neighbour pattern is why the paper's Ocean shows
+// the largest clustering gains (neighbouring processors usually share an
+// SMP node, so boundary exchange becomes hardware coherence); the grids use
+// the home placement optimization, as in the paper's runs.
+type Ocean struct {
+	n       int // grid dimension (including border)
+	iters   int
+	grids   [2]F64Array
+	res     F64Array // per-processor residual slots
+	cluster *shasta.Cluster
+	partial []float64
+	sum     float64
+}
+
+// NewOcean builds an Ocean workload: grid 194x194 at scale 1 (the paper's
+// is 514x514), doubling the interior per scale step.
+func NewOcean(scale int) *Ocean {
+	if scale < 1 {
+		scale = 1
+	}
+	return &Ocean{n: 192*scale + 2, iters: 16}
+}
+
+// Name implements Workload.
+func (w *Ocean) Name() string { return "Ocean" }
+
+// ProblemSize implements Workload.
+func (w *Ocean) ProblemSize() string { return fmt.Sprintf("%dx%d ocean", w.n, w.n) }
+
+// Setup implements Workload.
+func (w *Ocean) Setup(c *shasta.Cluster, variableGranularity bool) {
+	w.cluster = c
+	procs := c.Procs()
+	rowBytes := int64(w.n * 8)
+	homeOf := func(off int64) int {
+		row := int(off / rowBytes)
+		if row >= w.n {
+			row = w.n - 1
+		}
+		// Home each strip's rows at its owner.
+		for id := 0; id < procs; id++ {
+			lo, hi := blockRange(w.n-2, procs, id)
+			if row-1 >= lo && row-1 < hi {
+				return id
+			}
+		}
+		return 0
+	}
+	for g := range w.grids {
+		w.grids[g] = F64Array{
+			Base: c.AllocHomed(int64(w.n*w.n)*8, 64, homeOf),
+			Len:  w.n * w.n,
+		}
+	}
+	w.res = AllocF64(c, procs*8, 64) // one line per processor
+	w.partial = make([]float64, procs)
+}
+
+func (w *Ocean) at(g, i, j int) shasta.Addr { return w.grids[g].At(i*w.n + j) }
+
+// rowRef covers columns [1, n-1) of row i in grid g.
+func (w *Ocean) rowRef(g, i int, store bool) shasta.BatchRef {
+	return shasta.BatchRef{Base: w.at(g, i, 0), Bytes: w.n * 8, Store: store}
+}
+
+// Body implements Workload.
+func (w *Ocean) Body(p *shasta.Proc) {
+	n, procs := w.n, p.NumProcs()
+	lo, hi := blockRange(n-2, procs, p.ID())
+	lo, hi = lo+1, hi+1 // interior row indices
+
+	// Initialization: each processor fills its own strip (plus proc 0
+	// fills the borders), touching its home-placed rows.
+	for i := lo; i < hi; i++ {
+		p.Batch([]shasta.BatchRef{w.rowRef(0, i, true), w.rowRef(1, i, true)},
+			func(b *shasta.Batch) {
+				for j := 0; j < n; j++ {
+					v := float64((i*37+j*11)%100) / 100
+					b.StoreF64(w.at(0, i, j), v)
+					b.StoreF64(w.at(1, i, j), v)
+				}
+			})
+	}
+	if p.ID() == 0 {
+		p.Batch([]shasta.BatchRef{w.rowRef(0, 0, true), w.rowRef(1, 0, true),
+			w.rowRef(0, n-1, true), w.rowRef(1, n-1, true)}, func(b *shasta.Batch) {
+			for j := 0; j < n; j++ {
+				b.StoreF64(w.at(0, 0, j), 1.0)
+				b.StoreF64(w.at(1, 0, j), 1.0)
+				b.StoreF64(w.at(0, n-1, j), 0.5)
+				b.StoreF64(w.at(1, n-1, j), 0.5)
+			}
+		})
+	}
+	p.Barrier()
+	if p.ID() == 0 {
+		p.ResetStats()
+	}
+	p.Barrier()
+
+	// Red-black SOR sweeps between the two grids.
+	const omega = 1.2
+	src, dst := 0, 1
+	for it := 0; it < w.iters; it++ {
+		var localRes float64
+		row := make([]float64, 3*n)
+		for color := 0; color < 2; color++ {
+			for i := lo; i < hi; i++ {
+				// Load-only batch over the three source rows (the flag
+				// technique applies in Base-Shasta), then a store batch
+				// over the destination row.
+				p.Batch([]shasta.BatchRef{
+					w.rowRef(src, i-1, false),
+					w.rowRef(src, i, false),
+					w.rowRef(src, i+1, false),
+				}, func(b *shasta.Batch) {
+					for j := 0; j < n; j++ {
+						row[j] = b.LoadF64(w.at(src, i-1, j))
+						row[n+j] = b.LoadF64(w.at(src, i, j))
+						row[2*n+j] = b.LoadF64(w.at(src, i+1, j))
+					}
+				})
+				p.Batch([]shasta.BatchRef{w.rowRef(dst, i, true)}, func(b *shasta.Batch) {
+					for j := 1; j < n-1; j++ {
+						if (i+j)%2 != color {
+							// Copy the other colour unchanged.
+							b.Compute(8)
+							b.StoreF64(w.at(dst, i, j), row[n+j])
+							continue
+						}
+						c := row[n+j]
+						nv := (1-omega)*c + omega*0.25*(row[j]+row[2*n+j]+row[n+j-1]+row[n+j+1])
+						b.Compute(26)
+						b.StoreF64(w.at(dst, i, j), nv)
+						d := nv - c
+						if d < 0 {
+							d = -d
+						}
+						localRes += d
+					}
+				})
+			}
+			p.Barrier()
+		}
+		// Residual reduction through shared slots.
+		p.StoreF64(w.res.At(p.ID()*8), localRes)
+		p.Barrier()
+		if p.ID() == 0 {
+			total := 0.0
+			for q := 0; q < procs; q++ {
+				total += p.LoadF64(w.res.At(q * 8))
+			}
+			p.StoreF64(w.res.At(0), total)
+		}
+		p.Barrier()
+		src, dst = dst, src
+	}
+	if p.ID() == 0 {
+		p.EndMeasured()
+	}
+
+	// Verification: checksum of the final grid over this strip.
+	var sum float64
+	for i := lo; i < hi; i++ {
+		for j := 0; j < n; j++ {
+			sum += p.LoadF64(w.at(src, i, j)) * (1 + float64((i*13+j*7)%89)/89)
+		}
+	}
+	w.partial[p.ID()] = sum
+	p.Barrier()
+	if p.ID() == 0 {
+		total := 0.0
+		for _, v := range w.partial {
+			total += v
+		}
+		w.sum = total
+	}
+}
+
+// Checksum implements Workload.
+func (w *Ocean) Checksum() float64 { return w.sum }

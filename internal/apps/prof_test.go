@@ -1,0 +1,28 @@
+package apps
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+func TestProfileApps(t *testing.T) {
+	for _, name := range Names {
+		for _, cfg := range []shasta.Config{
+			{Procs: 16, Clustering: 1},
+			{Procs: 16, Clustering: 4},
+		} {
+			name, cfg := name, cfg
+			t.Run(fmt.Sprintf("%s-C%d", name, cfg.Clustering), func(t *testing.T) {
+				start := time.Now()
+				_, err := Execute(Registry[name](1), cfg, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("%.1fs host", time.Since(start).Seconds())
+			})
+		}
+	}
+}

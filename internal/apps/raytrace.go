@@ -1,0 +1,218 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"repro"
+)
+
+// Raytrace models SPLASH-2 Raytrace (the "balls" scenes): a ray tracer over
+// a shared read-only scene of spheres, with image work distributed through
+// a lock-protected task queue. Per ray it intersects every sphere
+// (floating-point loads of shared scene data — the reason Raytrace suffers
+// the paper's largest SMP-Shasta checking-overhead increase, since its FP
+// flag checks and load-only batches get more expensive), casts one shadow
+// ray, and one reflection bounce.
+type Raytrace struct {
+	nSpheres int
+	w, h     int
+	sph      F64Array // nSpheres * sphWords
+	img      F64Array // w*h
+	queue    U32Array // task counter
+	qlock    int
+	partial  []float64
+	sum      float64
+}
+
+const (
+	sphWords = 8 // cx, cy, cz, r, colr, refl, pad, pad (64 bytes)
+	sCX      = 0
+	sCY      = 1
+	sCZ      = 2
+	sRad     = 3
+	sCol     = 4
+	sRefl    = 5
+)
+
+// NewRaytrace builds the workload: a 48-sphere scene at 32x32*scale pixels
+// (the paper renders balls4 at full resolution).
+func NewRaytrace(scale int) *Raytrace {
+	if scale < 1 {
+		scale = 1
+	}
+	return &Raytrace{nSpheres: 48, w: 48 * scale, h: 48 * scale}
+}
+
+// Name implements Workload.
+func (w *Raytrace) Name() string { return "Raytrace" }
+
+// ProblemSize implements Workload.
+func (w *Raytrace) ProblemSize() string {
+	return fmt.Sprintf("balls scene, %dx%d image", w.w, w.h)
+}
+
+// Setup implements Workload.
+func (w *Raytrace) Setup(c *shasta.Cluster, variableGranularity bool) {
+	w.sph = AllocF64(c, w.nSpheres*sphWords, 64)
+	w.img = AllocF64(c, w.w*w.h, 64)
+	w.queue = AllocU32(c, 16, 64)
+	w.qlock = c.AllocLock()
+	w.partial = make([]float64, c.Procs())
+}
+
+func (w *Raytrace) sf(i, f int) shasta.Addr { return w.sph.At(i*sphWords + f) }
+
+// sceneRef covers the whole sphere array for load-only batches.
+func (w *Raytrace) sceneRef() shasta.BatchRef {
+	return shasta.BatchRef{Base: w.sph.Base, Bytes: w.nSpheres * sphWords * 8}
+}
+
+// trace returns the shade for a ray from origin o in direction d,
+// with at most depth reflection bounces. It runs inside a scene batch.
+func (w *Raytrace) trace(p *shasta.Proc, b *shasta.Batch, ox, oy, oz, dx, dy, dz float64, depth int) float64 {
+	bestT := math.Inf(1)
+	best := -1
+	for s := 0; s < w.nSpheres; s++ {
+		cx := b.LoadF64(w.sf(s, sCX))
+		cy := b.LoadF64(w.sf(s, sCY))
+		cz := b.LoadF64(w.sf(s, sCZ))
+		r := b.LoadF64(w.sf(s, sRad))
+		// Ray-sphere intersection.
+		lx, ly, lz := cx-ox, cy-oy, cz-oz
+		tca := lx*dx + ly*dy + lz*dz
+		d2 := lx*lx + ly*ly + lz*lz - tca*tca
+		p.Compute(30)
+		if tca < 0 || d2 > r*r {
+			continue
+		}
+		thc := math.Sqrt(r*r - d2)
+		t := tca - thc
+		if t > 1e-6 && t < bestT {
+			bestT, best = t, s
+		}
+	}
+	if best < 0 {
+		return 0.1 // background
+	}
+	// Shade at the hit point: diffuse toward a fixed light + shadow.
+	hx, hy, hz := ox+bestT*dx, oy+bestT*dy, oz+bestT*dz
+	cx := b.LoadF64(w.sf(best, sCX))
+	cy := b.LoadF64(w.sf(best, sCY))
+	cz := b.LoadF64(w.sf(best, sCZ))
+	nx, ny, nz := hx-cx, hy-cy, hz-cz
+	nl := math.Sqrt(nx*nx + ny*ny + nz*nz)
+	nx, ny, nz = nx/nl, ny/nl, nz/nl
+	const lx, ly, lz = 0.57735, 0.57735, -0.57735 // light direction
+	diff := nx*lx + ny*ly + nz*lz
+	if diff < 0 {
+		diff = 0
+	}
+	// Shadow ray.
+	inShadow := false
+	for s := 0; s < w.nSpheres && !inShadow; s++ {
+		if s == best {
+			continue
+		}
+		scx := b.LoadF64(w.sf(s, sCX))
+		scy := b.LoadF64(w.sf(s, sCY))
+		scz := b.LoadF64(w.sf(s, sCZ))
+		r := b.LoadF64(w.sf(s, sRad))
+		vx, vy, vz := scx-hx, scy-hy, scz-hz
+		tca := vx*lx + vy*ly + vz*lz
+		d2 := vx*vx + vy*vy + vz*vz - tca*tca
+		p.Compute(26)
+		if tca > 0 && d2 < r*r {
+			inShadow = true
+		}
+	}
+	if inShadow {
+		diff *= 0.2
+	}
+	col := b.LoadF64(w.sf(best, sCol))
+	shade := 0.15 + 0.85*diff*col
+	if depth > 0 {
+		refl := b.LoadF64(w.sf(best, sRefl))
+		if refl > 0 {
+			dot := dx*nx + dy*ny + dz*nz
+			rx, ry, rz := dx-2*dot*nx, dy-2*dot*ny, dz-2*dot*nz
+			shade += refl * w.trace(p, b, hx+1e-4*rx, hy+1e-4*ry, hz+1e-4*rz, rx, ry, rz, depth-1)
+		}
+	}
+	return shade
+}
+
+// Body implements Workload.
+func (w *Raytrace) Body(p *shasta.Proc) {
+	procs := p.NumProcs()
+
+	// Initialization: proc 0 builds the scene and resets the task queue.
+	if p.ID() == 0 {
+		r := newRNG(4242)
+		for s := 0; s < w.nSpheres; s++ {
+			p.Batch([]shasta.BatchRef{{Base: w.sph.At(s * sphWords), Bytes: sphWords * 8, Store: true}},
+				func(b *shasta.Batch) {
+					b.StoreF64(w.sf(s, sCX), r.rangeF(-4, 4))
+					b.StoreF64(w.sf(s, sCY), r.rangeF(-4, 4))
+					b.StoreF64(w.sf(s, sCZ), r.rangeF(6, 16))
+					b.StoreF64(w.sf(s, sRad), r.rangeF(0.4, 1.2))
+					b.StoreF64(w.sf(s, sCol), r.rangeF(0.3, 1.0))
+					b.StoreF64(w.sf(s, sRefl), r.rangeF(0, 0.5))
+				})
+		}
+		p.StoreU32(w.queue.At(0), 0)
+	}
+	p.Barrier()
+	if p.ID() == 0 {
+		p.ResetStats()
+	}
+	p.Barrier()
+
+	// Parallel phase: rows claimed from the shared task queue.
+	for {
+		p.LockAcquire(w.qlock)
+		row := int(p.LoadU32(w.queue.At(0)))
+		if row < w.h {
+			p.StoreU32(w.queue.At(0), uint32(row+1))
+		}
+		p.LockRelease(w.qlock)
+		if row >= w.h {
+			break
+		}
+		for x := 0; x < w.w; x++ {
+			// Camera ray through pixel (x, row).
+			dx := (float64(x)/float64(w.w) - 0.5) * 1.2
+			dy := (float64(row)/float64(w.h) - 0.5) * 1.2
+			dz := 1.0
+			n := math.Sqrt(dx*dx + dy*dy + dz*dz)
+			var shade float64
+			p.Batch([]shasta.BatchRef{w.sceneRef()}, func(b *shasta.Batch) {
+				shade = w.trace(p, b, 0, 0, 0, dx/n, dy/n, dz/n, 1)
+			})
+			p.StoreF64(w.img.At(row*w.w+x), shade)
+		}
+	}
+	p.Barrier()
+	if p.ID() == 0 {
+		p.EndMeasured()
+	}
+
+	// Verification: image checksum over strided pixels.
+	lo, hi := blockRange(w.w*w.h, procs, p.ID())
+	var sum float64
+	for i := lo; i < hi; i++ {
+		sum += p.LoadF64(w.img.At(i)) * (1 + float64(i%53)/53)
+	}
+	w.partial[p.ID()] = sum
+	p.Barrier()
+	if p.ID() == 0 {
+		total := 0.0
+		for _, v := range w.partial {
+			total += v
+		}
+		w.sum = total
+	}
+}
+
+// Checksum implements Workload.
+func (w *Raytrace) Checksum() float64 { return w.sum }

@@ -1,0 +1,74 @@
+package apps
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// TestReferenceLU validates the DSM LU kernel against the independent
+// host-memory implementation. At one processor the floating-point
+// operation order is identical, so the checksums must match exactly; the
+// parallel runs are compared with a small tolerance.
+func TestReferenceLU(t *testing.T) {
+	want := ReferenceLUChecksum(1)
+	seq, err := Execute(NewLU(1, false), shasta.Config{Procs: 1, Hardware: true}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Checksum != want {
+		t.Fatalf("sequential LU checksum %v != reference %v", seq.Checksum, want)
+	}
+	contig, err := Execute(NewLU(1, true), shasta.Config{Procs: 1, Hardware: true}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contig.Checksum != want {
+		t.Fatalf("LU-Contig checksum %v != reference %v", contig.Checksum, want)
+	}
+	par, err := Execute(NewLU(1, false), shasta.Config{Procs: 16, Clustering: 4}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !CloseEnough(par.Checksum, want, 1e-9) {
+		t.Fatalf("parallel LU checksum %v != reference %v", par.Checksum, want)
+	}
+}
+
+// TestReferenceOcean validates the Ocean kernel the same way.
+func TestReferenceOcean(t *testing.T) {
+	want := ReferenceOceanChecksum(1)
+	seq, err := Execute(NewOcean(1), shasta.Config{Procs: 1, Hardware: true}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !CloseEnough(seq.Checksum, want, 1e-12) {
+		t.Fatalf("sequential Ocean checksum %v != reference %v", seq.Checksum, want)
+	}
+	par, err := Execute(NewOcean(1), shasta.Config{Procs: 16, Clustering: 4}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !CloseEnough(par.Checksum, want, 1e-9) {
+		t.Fatalf("parallel Ocean checksum %v != reference %v", par.Checksum, want)
+	}
+}
+
+// TestReferenceWaterNsq validates the Water-Nsquared kernel.
+func TestReferenceWaterNsq(t *testing.T) {
+	want := ReferenceWaterNsqChecksum(1)
+	seq, err := Execute(NewWaterNsq(1), shasta.Config{Procs: 1, Hardware: true}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !CloseEnough(seq.Checksum, want, 1e-9) {
+		t.Fatalf("sequential Water-Nsq checksum %v != reference %v", seq.Checksum, want)
+	}
+	par, err := Execute(NewWaterNsq(1), shasta.Config{Procs: 8, Clustering: 4}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !CloseEnough(par.Checksum, want, 1e-6) {
+		t.Fatalf("parallel Water-Nsq checksum %v != reference %v", par.Checksum, want)
+	}
+}

@@ -1,0 +1,268 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"repro"
+)
+
+// WaterNsq models SPLASH-2 Water-Nsquared: molecular dynamics over n
+// molecules with an O(n^2) pairwise force computation. Each processor owns
+// a contiguous range of molecules; it accumulates pair forces into a
+// private buffer and then adds its contributions to every other molecule's
+// shared force record under a per-molecule lock. The molecule records
+// therefore migrate between the nodes — the pattern behind the paper's
+// observation that Water's downgrades often need three downgrade messages
+// (the record visits every processor of a node before leaving it).
+//
+// A molecule record is 32 float64s (256 bytes): position, velocity, force
+// and padding standing in for SPLASH's full predictor-corrector state.
+// Table 2 raises the molecule array's block size to 2048 bytes.
+type WaterNsq struct {
+	n        int
+	steps    int
+	mol      F64Array // n * molWords
+	pot      F64Array // per-processor potential slots (one line each)
+	cluster  *shasta.Cluster
+	partial  []float64
+	sum      float64
+	lockBase int // first of the n per-molecule lock IDs
+}
+
+const (
+	molWords = 32 // 256 bytes per molecule record
+	fPosX    = 0
+	fPosY    = 1
+	fPosZ    = 2
+	fVelX    = 3
+	fVelY    = 4
+	fVelZ    = 5
+	fFrcX    = 6
+	fFrcY    = 7
+	fFrcZ    = 8
+	// fSites holds the two hydrogen site offsets (real SPLASH water
+	// molecules have an oxygen and two hydrogens; forces act between all
+	// site pairs, making the pair kernel loads- and compute-heavy).
+	fSites = 9 // 6 float64s: H1 xyz, H2 xyz
+)
+
+// NewWaterNsq builds the workload: 192 molecules per scale step (the paper
+// runs 1000-4096).
+func NewWaterNsq(scale int) *WaterNsq {
+	if scale < 1 {
+		scale = 1
+	}
+	return &WaterNsq{n: 192 * scale, steps: 2}
+}
+
+// Name implements Workload.
+func (w *WaterNsq) Name() string { return "Water-Nsq" }
+
+// ProblemSize implements Workload.
+func (w *WaterNsq) ProblemSize() string { return fmt.Sprintf("%d molecules", w.n) }
+
+// Setup implements Workload.
+func (w *WaterNsq) Setup(c *shasta.Cluster, variableGranularity bool) {
+	w.cluster = c
+	blockSize := 64
+	if variableGranularity {
+		blockSize = 2048 // Table 2: molecule array
+	}
+	w.mol = AllocF64(c, w.n*molWords, blockSize)
+	w.pot = AllocF64(c, c.Procs()*8, 64)
+	w.partial = make([]float64, c.Procs())
+	// One lock per owner range, as in SPLASH-2's per-partition force
+	// locks; contributions to another processor's molecules are merged
+	// under its range lock.
+	w.lockBase = c.AllocLock()
+	for i := 1; i < c.Procs(); i++ {
+		c.AllocLock()
+	}
+}
+
+func (w *WaterNsq) field(i, f int) shasta.Addr { return w.mol.At(i*molWords + f) }
+
+// molRef covers molecule i's record.
+func (w *WaterNsq) molRef(i int, store bool) shasta.BatchRef {
+	return shasta.BatchRef{Base: w.mol.At(i * molWords), Bytes: molWords * 8, Store: store}
+}
+
+// Body implements Workload.
+func (w *WaterNsq) Body(p *shasta.Proc) {
+	n, procs := w.n, p.NumProcs()
+	lo, hi := blockRange(n, procs, p.ID())
+
+	// Initialization: owners place their molecules on a jittered lattice.
+	side := int(math.Cbrt(float64(n))) + 1
+	for i := lo; i < hi; i++ {
+		r := newRNG(uint64(9000 + i))
+		p.Batch([]shasta.BatchRef{w.molRef(i, true)}, func(b *shasta.Batch) {
+			b.StoreF64(w.field(i, fPosX), float64(i%side)+0.3*r.f64())
+			b.StoreF64(w.field(i, fPosY), float64((i/side)%side)+0.3*r.f64())
+			b.StoreF64(w.field(i, fPosZ), float64(i/(side*side))+0.3*r.f64())
+			b.StoreF64(w.field(i, fVelX), r.rangeF(-0.1, 0.1))
+			b.StoreF64(w.field(i, fVelY), r.rangeF(-0.1, 0.1))
+			b.StoreF64(w.field(i, fVelZ), r.rangeF(-0.1, 0.1))
+			b.StoreF64(w.field(i, fFrcX), 0)
+			b.StoreF64(w.field(i, fFrcY), 0)
+			b.StoreF64(w.field(i, fFrcZ), 0)
+			for d := 0; d < 6; d++ {
+				b.StoreF64(w.field(i, fSites+d), r.rangeF(-0.15, 0.15))
+			}
+		})
+	}
+	p.Barrier()
+	if p.ID() == 0 {
+		p.ResetStats()
+	}
+	p.Barrier()
+
+	const dt = 0.002
+	var potential float64
+	fbuf := make([]float64, n*3)
+	touched := make([]bool, n)
+	for step := 0; step < w.steps; step++ {
+		// Force phase: O(n^2) pairs; private accumulation, then merge
+		// into the shared records under per-molecule locks.
+		for i := range fbuf {
+			fbuf[i] = 0
+		}
+		for i := range touched {
+			touched[i] = false
+		}
+		potential = 0
+		for i := lo; i < hi; i++ {
+			xi := p.LoadF64(w.field(i, fPosX))
+			yi := p.LoadF64(w.field(i, fPosY))
+			zi := p.LoadF64(w.field(i, fPosZ))
+			var si [6]float64
+			for d := 0; d < 6; d++ {
+				si[d] = p.LoadF64(w.field(i, fSites+d))
+			}
+			for j := i + 1; j < n; j++ {
+				// Read the other molecule's oxygen position and both
+				// hydrogen site offsets (nine shared loads per pair, as
+				// in SPLASH water's all-site force computation).
+				xj := p.LoadF64(w.field(j, fPosX))
+				yj := p.LoadF64(w.field(j, fPosY))
+				zj := p.LoadF64(w.field(j, fPosZ))
+				var sj [6]float64
+				for d := 0; d < 6; d++ {
+					sj[d] = p.LoadF64(w.field(j, fSites+d))
+				}
+				// All-pairs site interactions (O, H1, H2) x (O, H1, H2):
+				// nine distance computations per molecule pair.
+				var fx, fy, fz, pot float64
+				for a := 0; a < 3; a++ {
+					ax, ay, az := xi, yi, zi
+					if a > 0 {
+						ax += si[(a-1)*3]
+						ay += si[(a-1)*3+1]
+						az += si[(a-1)*3+2]
+					}
+					for b := 0; b < 3; b++ {
+						bx, by, bz := xj, yj, zj
+						if b > 0 {
+							bx += sj[(b-1)*3]
+							by += sj[(b-1)*3+1]
+							bz += sj[(b-1)*3+2]
+						}
+						dx, dy, dz := ax-bx, ay-by, az-bz
+						r2 := dx*dx + dy*dy + dz*dz + 0.25
+						inv := 1 / r2
+						f := inv * inv * (inv - 0.5) / 9
+						fx += f * dx
+						fy += f * dy
+						fz += f * dz
+						pot += inv / 9
+					}
+				}
+				fbuf[i*3+0] += fx
+				fbuf[i*3+1] += fy
+				fbuf[i*3+2] += fz
+				fbuf[j*3+0] -= fx
+				fbuf[j*3+1] -= fy
+				fbuf[j*3+2] -= fz
+				touched[i], touched[j] = true, true
+				potential += pot
+				p.Compute(460) // nine site interactions with divides
+			}
+		}
+		// Merge contributions into the shared force fields, one owner
+		// range (and range lock) at a time, starting with our own range
+		// to stagger lock contention.
+		for dq := 0; dq < procs; dq++ {
+			q := (p.ID() + dq) % procs
+			qLo, qHi := blockRange(n, procs, q)
+			any := false
+			for j := qLo; j < qHi; j++ {
+				if touched[j] {
+					any = true
+					break
+				}
+			}
+			if !any {
+				continue
+			}
+			p.LockAcquire(w.lockBase + q)
+			for j := qLo; j < qHi; j++ {
+				if !touched[j] {
+					continue
+				}
+				p.Batch([]shasta.BatchRef{w.molRef(j, true)}, func(b *shasta.Batch) {
+					b.StoreF64(w.field(j, fFrcX), b.LoadF64(w.field(j, fFrcX))+fbuf[j*3+0])
+					b.StoreF64(w.field(j, fFrcY), b.LoadF64(w.field(j, fFrcY))+fbuf[j*3+1])
+					b.StoreF64(w.field(j, fFrcZ), b.LoadF64(w.field(j, fFrcZ))+fbuf[j*3+2])
+				})
+			}
+			p.LockRelease(w.lockBase + q)
+		}
+		p.Barrier()
+
+		// Integration: owners advance their molecules and clear forces.
+		for i := lo; i < hi; i++ {
+			p.Batch([]shasta.BatchRef{w.molRef(i, true)}, func(b *shasta.Batch) {
+				for d := 0; d < 3; d++ {
+					v := b.LoadF64(w.field(i, fVelX+d)) + dt*b.LoadF64(w.field(i, fFrcX+d))
+					b.StoreF64(w.field(i, fVelX+d), v)
+					b.StoreF64(w.field(i, fPosX+d), b.LoadF64(w.field(i, fPosX+d))+dt*v)
+					b.StoreF64(w.field(i, fFrcX+d), 0)
+				}
+				b.Compute(24)
+			})
+		}
+		p.Barrier()
+	}
+	// Reduce the potential (order-stable: slot per processor).
+	p.StoreF64(w.pot.At(p.ID()*8), potential)
+	p.Barrier()
+	if p.ID() == 0 {
+		p.EndMeasured()
+	}
+
+	// Verification: positions + velocities checksum over owned range.
+	var sum float64
+	for i := lo; i < hi; i++ {
+		for d := 0; d < 6; d++ {
+			sum += p.LoadF64(w.field(i, d)) * (1 + float64((i*7+d)%31)/31)
+		}
+	}
+	for q := 0; q < procs; q++ {
+		if q == p.ID() {
+			sum += p.LoadF64(w.pot.At(q * 8))
+		}
+	}
+	w.partial[p.ID()] = sum
+	p.Barrier()
+	if p.ID() == 0 {
+		total := 0.0
+		for _, v := range w.partial {
+			total += v
+		}
+		w.sum = total
+	}
+}
+
+// Checksum implements Workload.
+func (w *WaterNsq) Checksum() float64 { return w.sum }

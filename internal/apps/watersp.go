@@ -1,0 +1,320 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"repro"
+)
+
+// WaterSp models SPLASH-2 Water-Spatial: the same molecular dynamics as
+// Water-Nsquared, but with molecules binned into a uniform 3D cell grid so
+// forces are only computed between molecules in the same or neighbouring
+// cells — O(n) work. Processors own contiguous ranges of cells; the cell
+// occupancy index is rebuilt each step in shared memory. Communication is
+// mostly boundary-cell traffic plus the migratory per-molecule force
+// merges.
+type WaterSp struct {
+	n       int
+	steps   int
+	g       int // cells per dimension
+	cellCap int
+	mol     F64Array
+	cellCnt U32Array // per-cell occupancy counts
+	cellIdx U32Array // per-cell molecule indices (g^3 * cellCap)
+	pot     F64Array
+	partial []float64
+	sum     float64
+	lockBak int
+	side    float64 // box side length
+}
+
+// NewWaterSp builds the workload: 192 molecules per scale step in a box
+// sized for ~4 molecules per cell (the paper runs 1728-4096 molecules).
+func NewWaterSp(scale int) *WaterSp {
+	if scale < 1 {
+		scale = 1
+	}
+	n := 192 * scale
+	g := int(math.Cbrt(float64(n)/4)) + 1
+	if g < 3 {
+		g = 3
+	}
+	return &WaterSp{n: n, steps: 2, g: g, cellCap: 32, side: float64(g)}
+}
+
+// Name implements Workload.
+func (w *WaterSp) Name() string { return "Water-Sp" }
+
+// ProblemSize implements Workload.
+func (w *WaterSp) ProblemSize() string {
+	return fmt.Sprintf("%d molecules, %d^3 cells", w.n, w.g)
+}
+
+// Setup implements Workload.
+func (w *WaterSp) Setup(c *shasta.Cluster, variableGranularity bool) {
+	blockSize := 64
+	if variableGranularity {
+		blockSize = 2048
+	}
+	w.mol = AllocF64(c, w.n*molWords, blockSize)
+	cells := w.g * w.g * w.g
+	w.cellCnt = AllocU32(c, cells, 64)
+	w.cellIdx = AllocU32(c, cells*w.cellCap, 64)
+	w.pot = AllocF64(c, c.Procs()*8, 64)
+	w.partial = make([]float64, c.Procs())
+	// Range locks, one per owner, as in Water-Nsq.
+	w.lockBak = c.AllocLock()
+	for i := 1; i < c.Procs(); i++ {
+		c.AllocLock()
+	}
+}
+
+func (w *WaterSp) field(i, f int) shasta.Addr { return w.mol.At(i*molWords + f) }
+
+func (w *WaterSp) molRef(i int, store bool) shasta.BatchRef {
+	return shasta.BatchRef{Base: w.mol.At(i * molWords), Bytes: molWords * 8, Store: store}
+}
+
+func (w *WaterSp) cellOf(x, y, z float64) int {
+	g := w.g
+	clamp := func(v float64) int {
+		c := int(v)
+		if c < 0 {
+			c = 0
+		}
+		if c >= g {
+			c = g - 1
+		}
+		return c
+	}
+	return (clamp(x)*g+clamp(y))*g + clamp(z)
+}
+
+// Body implements Workload.
+func (w *WaterSp) Body(p *shasta.Proc) {
+	n, procs, g := w.n, p.NumProcs(), w.g
+	lo, hi := blockRange(n, procs, p.ID())
+	cells := g * g * g
+	cLo, cHi := blockRange(cells, procs, p.ID())
+
+	// Initialization: owners scatter their molecules in the box.
+	for i := lo; i < hi; i++ {
+		r := newRNG(uint64(7000 + i))
+		p.Batch([]shasta.BatchRef{w.molRef(i, true)}, func(b *shasta.Batch) {
+			b.StoreF64(w.field(i, fPosX), r.rangeF(0, w.side))
+			b.StoreF64(w.field(i, fPosY), r.rangeF(0, w.side))
+			b.StoreF64(w.field(i, fPosZ), r.rangeF(0, w.side))
+			b.StoreF64(w.field(i, fVelX), r.rangeF(-0.05, 0.05))
+			b.StoreF64(w.field(i, fVelY), r.rangeF(-0.05, 0.05))
+			b.StoreF64(w.field(i, fVelZ), r.rangeF(-0.05, 0.05))
+			b.StoreF64(w.field(i, fFrcX), 0)
+			b.StoreF64(w.field(i, fFrcY), 0)
+			b.StoreF64(w.field(i, fFrcZ), 0)
+			for d := 0; d < 6; d++ {
+				b.StoreF64(w.field(i, fSites+d), r.rangeF(-0.15, 0.15))
+			}
+		})
+	}
+	p.Barrier()
+	if p.ID() == 0 {
+		p.ResetStats()
+	}
+	p.Barrier()
+
+	const dt = 0.002
+	var potential float64
+	fbuf := make([]float64, n*3)
+	touched := make([]bool, n)
+	for step := 0; step < w.steps; step++ {
+		// Rebuild the cell index in parallel: every processor scans the
+		// molecule positions once and records the occupants of the cells
+		// it owns (no locking needed — each cell is written by exactly
+		// one owner).
+		cnts := make([]uint32, cHi-cLo)
+		for i := 0; i < n; i++ {
+			mc := w.cellOf(p.LoadF64(w.field(i, fPosX)),
+				p.LoadF64(w.field(i, fPosY)), p.LoadF64(w.field(i, fPosZ)))
+			p.Compute(20)
+			if mc < cLo || mc >= cHi {
+				continue
+			}
+			if int(cnts[mc-cLo]) < w.cellCap {
+				p.StoreU32(w.cellIdx.At(mc*w.cellCap+int(cnts[mc-cLo])), uint32(i))
+				cnts[mc-cLo]++
+			}
+		}
+		for c := cLo; c < cHi; c++ {
+			p.StoreU32(w.cellCnt.At(c), cnts[c-cLo])
+		}
+		p.Barrier()
+
+		// Force phase over owned cells and their neighbours.
+		for i := range fbuf {
+			fbuf[i] = 0
+		}
+		for i := range touched {
+			touched[i] = false
+		}
+		potential = 0
+		for c := cLo; c < cHi; c++ {
+			cx, cy, cz := c/(g*g), (c/g)%g, c%g
+			cnt := int(p.LoadU32(w.cellCnt.At(c)))
+			for a := 0; a < cnt; a++ {
+				i := int(p.LoadU32(w.cellIdx.At(c*w.cellCap + a)))
+				xi := p.LoadF64(w.field(i, fPosX))
+				yi := p.LoadF64(w.field(i, fPosY))
+				zi := p.LoadF64(w.field(i, fPosZ))
+				var si [6]float64
+				for d := 0; d < 6; d++ {
+					si[d] = p.LoadF64(w.field(i, fSites+d))
+				}
+				// Neighbour cells with index >= c avoid double counting;
+				// within the cell, pairs a<b2.
+				for dx := -1; dx <= 1; dx++ {
+					for dy := -1; dy <= 1; dy++ {
+						for dz := -1; dz <= 1; dz++ {
+							nx, ny, nz := cx+dx, cy+dy, cz+dz
+							if nx < 0 || nx >= g || ny < 0 || ny >= g || nz < 0 || nz >= g {
+								continue
+							}
+							nc := (nx*g+ny)*g + nz
+							if nc < c {
+								continue
+							}
+							ncnt := int(p.LoadU32(w.cellCnt.At(nc)))
+							for b2 := 0; b2 < ncnt; b2++ {
+								if nc == c && b2 <= a {
+									continue
+								}
+								j := int(p.LoadU32(w.cellIdx.At(nc*w.cellCap + b2)))
+								xj := p.LoadF64(w.field(j, fPosX))
+								yj := p.LoadF64(w.field(j, fPosY))
+								zj := p.LoadF64(w.field(j, fPosZ))
+								ddx, ddy, ddz := xi-xj, yi-yj, zi-zj
+								cd2 := ddx*ddx + ddy*ddy + ddz*ddz
+								p.Compute(10)
+								if cd2 > 2.25 { // cutoff radius 1.5
+									continue
+								}
+								// Within the cutoff, compute the nine
+								// site-site interactions (see Water-Nsq).
+								var sj [6]float64
+								for d := 0; d < 6; d++ {
+									sj[d] = p.LoadF64(w.field(j, fSites+d))
+								}
+								var fx, fy, fz, pot float64
+								for av := 0; av < 3; av++ {
+									ax, ay, az := xi, yi, zi
+									if av > 0 {
+										ax += si[(av-1)*3]
+										ay += si[(av-1)*3+1]
+										az += si[(av-1)*3+2]
+									}
+									for bv := 0; bv < 3; bv++ {
+										bx, by, bz := xj, yj, zj
+										if bv > 0 {
+											bx += sj[(bv-1)*3]
+											by += sj[(bv-1)*3+1]
+											bz += sj[(bv-1)*3+2]
+										}
+										qx, qy, qz := ax-bx, ay-by, az-bz
+										r2 := qx*qx + qy*qy + qz*qz + 0.25
+										inv := 1 / r2
+										f := inv * inv * (inv - 0.5) / 9
+										fx += f * qx
+										fy += f * qy
+										fz += f * qz
+										pot += inv / 9
+									}
+								}
+								fbuf[i*3+0] += fx
+								fbuf[i*3+1] += fy
+								fbuf[i*3+2] += fz
+								fbuf[j*3+0] -= fx
+								fbuf[j*3+1] -= fy
+								fbuf[j*3+2] -= fz
+								touched[i], touched[j] = true, true
+								potential += pot
+								p.Compute(450)
+							}
+						}
+					}
+				}
+			}
+		}
+		for dq := 0; dq < procs; dq++ {
+			q := (p.ID() + dq) % procs
+			qLo, qHi := blockRange(n, procs, q)
+			any := false
+			for j := qLo; j < qHi; j++ {
+				if touched[j] {
+					any = true
+					break
+				}
+			}
+			if !any {
+				continue
+			}
+			p.LockAcquire(w.lockBak + q)
+			for j := qLo; j < qHi; j++ {
+				if !touched[j] {
+					continue
+				}
+				p.Batch([]shasta.BatchRef{w.molRef(j, true)}, func(b *shasta.Batch) {
+					b.StoreF64(w.field(j, fFrcX), b.LoadF64(w.field(j, fFrcX))+fbuf[j*3+0])
+					b.StoreF64(w.field(j, fFrcY), b.LoadF64(w.field(j, fFrcY))+fbuf[j*3+1])
+					b.StoreF64(w.field(j, fFrcZ), b.LoadF64(w.field(j, fFrcZ))+fbuf[j*3+2])
+				})
+			}
+			p.LockRelease(w.lockBak + q)
+		}
+		p.Barrier()
+
+		// Integration by the molecule owners, staying inside the box.
+		for i := lo; i < hi; i++ {
+			p.Batch([]shasta.BatchRef{w.molRef(i, true)}, func(b *shasta.Batch) {
+				for d := 0; d < 3; d++ {
+					v := b.LoadF64(w.field(i, fVelX+d)) + dt*b.LoadF64(w.field(i, fFrcX+d))
+					pos := b.LoadF64(w.field(i, fPosX+d)) + dt*v
+					if pos < 0 {
+						pos, v = -pos, -v
+					}
+					if pos > w.side {
+						pos, v = 2*w.side-pos, -v
+					}
+					b.StoreF64(w.field(i, fVelX+d), v)
+					b.StoreF64(w.field(i, fPosX+d), pos)
+					b.StoreF64(w.field(i, fFrcX+d), 0)
+				}
+				b.Compute(30)
+			})
+		}
+		p.Barrier()
+	}
+	p.StoreF64(w.pot.At(p.ID()*8), potential)
+	p.Barrier()
+	if p.ID() == 0 {
+		p.EndMeasured()
+	}
+
+	var sum float64
+	for i := lo; i < hi; i++ {
+		for d := 0; d < 6; d++ {
+			sum += p.LoadF64(w.field(i, d)) * (1 + float64((i*5+d)%29)/29)
+		}
+	}
+	sum += p.LoadF64(w.pot.At(p.ID() * 8))
+	w.partial[p.ID()] = sum
+	p.Barrier()
+	if p.ID() == 0 {
+		total := 0.0
+		for _, v := range w.partial {
+			total += v
+		}
+		w.sum = total
+	}
+}
+
+// Checksum implements Workload.
+func (w *WaterSp) Checksum() float64 { return w.sum }

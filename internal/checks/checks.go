@@ -1,0 +1,134 @@
+// Package checks models the cost of Shasta's inline miss checks.
+//
+// Shasta inserts checking code before loads and stores in the application
+// executable. The costs here are cycle counts for each kind of check,
+// mirroring the paper's descriptions: the store check of Figure 1 is seven
+// instructions; load checks compare the loaded value against the invalid
+// flag; SMP-Shasta makes floating-point flag checks atomic by storing the
+// FP register to the stack and reloading into an integer register (several
+// extra cycles); and SMP-Shasta batch checks must consult the private state
+// table instead of using the flag technique, which the paper identifies as
+// the largest source of extra checking overhead.
+//
+// Polling for messages costs three instructions on a Memory Channel
+// cluster; the simulator charges it at every access-level poll point, the
+// analogue of Shasta's loop-backedge polling.
+package checks
+
+// Mode selects which checking code is compiled into the application.
+type Mode int
+
+// Checking modes.
+const (
+	// ModeOff runs without miss checks (original sequential code, or
+	// hardware-coherent execution).
+	ModeOff Mode = iota
+	// ModeBase uses Base-Shasta checks.
+	ModeBase
+	// ModeSMP uses SMP-Shasta checks (atomic FP flag checks, state-table
+	// batch checks).
+	ModeSMP
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeOff:
+		return "off"
+	case ModeBase:
+		return "base"
+	case ModeSMP:
+		return "smp"
+	default:
+		return "unknown"
+	}
+}
+
+// Costs holds per-check cycle counts.
+type Costs struct {
+	// LoadFlag is an integer load's flag-comparison check.
+	LoadFlag int64
+	// LoadFlagFPBase is a floating-point load's flag check in
+	// Base-Shasta (an extra integer load of the same address).
+	LoadFlagFPBase int64
+	// LoadFlagFPSMP is the atomic SMP-Shasta FP flag check (store the FP
+	// value to the stack, reload as integer, compare).
+	LoadFlagFPSMP int64
+	// Store is the seven-instruction state-table store check.
+	Store int64
+	// BatchFlagPerLine is a flag-based batch check per line per base
+	// register (load-only batches in Base-Shasta).
+	BatchFlagPerLine int64
+	// BatchStatePerLine is a state-table batch check per line per base
+	// register (all SMP-Shasta batches, and Base-Shasta batches with
+	// stores).
+	BatchStatePerLine int64
+	// Poll is the cost of one message poll (three instructions).
+	Poll int64
+}
+
+// Default returns costs calibrated to the paper's Alpha 21164 code
+// sequences.
+func Default() Costs {
+	return Costs{
+		LoadFlag:          2,
+		LoadFlagFPBase:    3,
+		LoadFlagFPSMP:     9,
+		Store:             7,
+		BatchFlagPerLine:  3,
+		BatchStatePerLine: 7,
+		Poll:              3,
+	}
+}
+
+// LoadCheck returns the cost of a single (non-batched) load check: fp
+// selects the floating-point variant.
+func (c Costs) LoadCheck(m Mode, fp bool) int64 {
+	switch m {
+	case ModeOff:
+		return 0
+	case ModeBase:
+		if fp {
+			return c.LoadFlagFPBase
+		}
+		return c.LoadFlag
+	default: // ModeSMP
+		if fp {
+			return c.LoadFlagFPSMP
+		}
+		return c.LoadFlag
+	}
+}
+
+// StoreCheck returns the cost of a single store check.
+func (c Costs) StoreCheck(m Mode) int64 {
+	if m == ModeOff {
+		return 0
+	}
+	return c.Store
+}
+
+// BatchCheck returns the cost of checking a batch that touches the given
+// number of (line, base-register) pairs; loadOnly batches can use the flag
+// technique in Base-Shasta but never in SMP-Shasta.
+func (c Costs) BatchCheck(m Mode, linePairs int, loadOnly bool) int64 {
+	switch m {
+	case ModeOff:
+		return 0
+	case ModeBase:
+		if loadOnly {
+			return int64(linePairs) * c.BatchFlagPerLine
+		}
+		return int64(linePairs) * c.BatchStatePerLine
+	default:
+		return int64(linePairs) * c.BatchStatePerLine
+	}
+}
+
+// PollCost returns the polling cost for one poll point.
+func (c Costs) PollCost(m Mode) int64 {
+	if m == ModeOff {
+		return 0
+	}
+	return c.Poll
+}

@@ -1,0 +1,57 @@
+package checks
+
+import "testing"
+
+func TestModeOffIsFree(t *testing.T) {
+	c := Default()
+	if c.LoadCheck(ModeOff, false) != 0 || c.LoadCheck(ModeOff, true) != 0 ||
+		c.StoreCheck(ModeOff) != 0 || c.BatchCheck(ModeOff, 5, true) != 0 ||
+		c.PollCost(ModeOff) != 0 {
+		t.Fatal("ModeOff must cost nothing")
+	}
+}
+
+func TestSMPFPCheckCostsMore(t *testing.T) {
+	c := Default()
+	if c.LoadCheck(ModeSMP, true) <= c.LoadCheck(ModeBase, true) {
+		t.Fatal("SMP FP load check must exceed Base FP load check")
+	}
+	if c.LoadCheck(ModeSMP, false) != c.LoadCheck(ModeBase, false) {
+		t.Fatal("integer flag check should cost the same in both modes")
+	}
+}
+
+func TestSMPBatchUsesStateTable(t *testing.T) {
+	c := Default()
+	baseLoadOnly := c.BatchCheck(ModeBase, 4, true)
+	smpLoadOnly := c.BatchCheck(ModeSMP, 4, true)
+	if smpLoadOnly <= baseLoadOnly {
+		t.Fatal("SMP load-only batch checks must exceed Base flag batch checks")
+	}
+	if got := c.BatchCheck(ModeSMP, 4, true); got != c.BatchCheck(ModeSMP, 4, false) {
+		t.Fatalf("SMP batches must cost the same regardless of loadOnly: %d", got)
+	}
+	if c.BatchCheck(ModeBase, 4, false) != c.BatchCheck(ModeSMP, 4, false) {
+		t.Fatal("batches containing stores use the state table in both modes")
+	}
+}
+
+func TestBatchScalesWithLinePairs(t *testing.T) {
+	c := Default()
+	if c.BatchCheck(ModeBase, 8, true) != 2*c.BatchCheck(ModeBase, 4, true) {
+		t.Fatal("batch cost must be linear in line pairs")
+	}
+}
+
+func TestStoreCheckSevenInstructions(t *testing.T) {
+	c := Default()
+	if c.StoreCheck(ModeBase) != 7 || c.StoreCheck(ModeSMP) != 7 {
+		t.Fatalf("store check = %d/%d, want 7 (Figure 1)", c.StoreCheck(ModeBase), c.StoreCheck(ModeSMP))
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeOff.String() != "off" || ModeBase.String() != "base" || ModeSMP.String() != "smp" {
+		t.Fatal("mode names wrong")
+	}
+}

@@ -1,0 +1,174 @@
+// Package harness regenerates the tables and figures of the paper's
+// evaluation (Section 4): the checking-overhead table (Table 1), the
+// variable-granularity table (Table 2), the larger-problem table (Table 3),
+// the speedup curves (Figure 3), the execution-time breakdowns (Figures 4
+// and 5), the miss and message statistics (Figures 6 and 7), the downgrade
+// distribution (Figure 8), the downgrade-latency microbenchmark, and the
+// hardware-coherent ANL comparison.
+//
+// Absolute numbers differ from the paper's (the substrate is a calibrated
+// simulator and the problem sizes are scaled down), but each experiment
+// reports the same rows and series the paper does, so the shapes — who
+// wins, by what factor, where crossovers fall — can be compared directly.
+// EXPERIMENTS.md records that comparison.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro"
+	"repro/internal/apps"
+)
+
+// Options parameterize an experiment run.
+type Options struct {
+	// Scale multiplies problem sizes (1 = default experiment inputs).
+	Scale int
+	// Apps restricts the applications run (nil = the paper's set for
+	// that experiment).
+	Apps []string
+}
+
+// WithDefaults fills unset options.
+func (o Options) WithDefaults() Options {
+	if o.Scale < 1 {
+		o.Scale = 1
+	}
+	return o
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	// ID is the CLI name: "table1" .. "table3", "fig3" .. "fig8",
+	// "micro", "anl".
+	ID string
+	// Title describes what the paper shows there.
+	Title string
+	// Run executes the experiment, writing its report to w.
+	Run func(o Options, w io.Writer) error
+}
+
+// Experiments lists every experiment in paper order.
+var Experiments = []Experiment{
+	{"table1", "Sequential times and checking overheads (Table 1)", Table1},
+	{"table2", "Effects of variable block size in Base-Shasta (Table 2)", Table2},
+	{"table3", "Execution on larger problem sizes (Table 3)", Table3},
+	{"fig3", "Speedups, Base-Shasta vs SMP-Shasta, 1-16 processors (Figure 3)", Fig3},
+	{"fig4", "Execution time breakdowns at 8 and 16 processors (Figure 4)", Fig4},
+	{"fig5", "Breakdowns with variable granularity (Figure 5)", Fig5},
+	{"fig6", "Misses by type and hops vs clustering (Figure 6)", Fig6},
+	{"fig7", "Messages by class vs clustering (Figure 7)", Fig7},
+	{"fig8", "Downgrade message distribution (Figure 8)", Fig8},
+	{"micro", "Read latency vs number of downgrades (Section 4.4)", Micro},
+	{"anl", "SMP-Shasta vs hardware-coherent execution on one SMP (Section 4.3)", ANL},
+	{"ablate", "Design-choice ablations: line size, shared directory, fast sync, broadcast downgrades", Ablate},
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Experiments {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// runKey memoizes application runs within one process, since several
+// experiments share configurations.
+type runKey struct {
+	app      string
+	scale    int
+	procs    int
+	cluster  int
+	hardware bool
+	smpChk   bool
+	varGran  bool
+}
+
+var runCache = map[runKey]apps.RunResult{}
+
+// runApp executes (or recalls) one application run.
+func runApp(app string, scale int, cfg shasta.Config, varGran bool) (apps.RunResult, error) {
+	key := runKey{app, scale, cfg.Procs, cfg.Clustering, cfg.Hardware, cfg.ForceSMPChecks, varGran}
+	if r, ok := runCache[key]; ok {
+		return r, nil
+	}
+	f, ok := apps.Registry[app]
+	if !ok {
+		return apps.RunResult{}, fmt.Errorf("harness: unknown application %q", app)
+	}
+	r, err := apps.Execute(f(scale), cfg, varGran)
+	if err != nil {
+		return apps.RunResult{}, err
+	}
+	runCache[key] = r
+	return r, nil
+}
+
+// ResetCache clears memoized runs (tests use it to control determinism
+// checks across processes).
+func ResetCache() { runCache = map[runKey]apps.RunResult{} }
+
+// seqCycles returns the sequential (no checks) execution time.
+func seqCycles(app string, scale int) (int64, error) {
+	r, err := runApp(app, scale, shasta.Config{Procs: 1, Hardware: true}, false)
+	if err != nil {
+		return 0, err
+	}
+	return r.Result.ParallelCycles, nil
+}
+
+// baseConfig is a Base-Shasta configuration at the given processor count.
+func baseConfig(procs int) shasta.Config {
+	return shasta.Config{Procs: procs, Clustering: 1}
+}
+
+// smpConfig is an SMP-Shasta configuration: clustering 2 at 2 processors,
+// 4 at 4 and above (the paper's choice for Figure 3 and beyond).
+func smpConfig(procs int) shasta.Config {
+	cl := 4
+	if procs < 4 {
+		cl = procs
+	}
+	return shasta.Config{Procs: procs, Clustering: cl}
+}
+
+// appList resolves the option's application set against a default.
+func appList(o Options, def []string) []string {
+	if len(o.Apps) == 0 {
+		return def
+	}
+	var out []string
+	allowed := map[string]bool{}
+	for _, a := range o.Apps {
+		allowed[a] = true
+	}
+	for _, a := range def {
+		if allowed[a] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// speedup computes sequential/parallel.
+func speedup(seq, par int64) float64 {
+	if par == 0 {
+		return 0
+	}
+	return float64(seq) / float64(par)
+}
+
+// pct formats a ratio-1 as a percentage string.
+func pct(over float64) string { return fmt.Sprintf("%.1f%%", over*100) }
+
+// secs formats cycles as virtual seconds at 300 MHz.
+func secs(cycles int64) string { return fmt.Sprintf("%.4fs", float64(cycles)/300e6) }
+
+// newTab builds a tabwriter for aligned report columns.
+func newTab(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}

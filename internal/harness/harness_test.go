@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestExperimentRegistry(t *testing.T) {
+	wantIDs := []string{"table1", "table2", "table3", "fig3", "fig4", "fig5",
+		"fig6", "fig7", "fig8", "micro", "anl", "ablate"}
+	if len(Experiments) != len(wantIDs) {
+		t.Fatalf("have %d experiments, want %d", len(Experiments), len(wantIDs))
+	}
+	for _, id := range wantIDs {
+		e, ok := ByID(id)
+		if !ok {
+			t.Errorf("experiment %q missing", id)
+			continue
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", id)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID accepted an unknown id")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.WithDefaults()
+	if o.Scale != 1 {
+		t.Fatalf("default scale = %d, want 1", o.Scale)
+	}
+}
+
+// TestTable1SingleApp runs the checking-overhead experiment for one small
+// application and checks the report structure and the Base <= SMP ordering.
+func TestTable1SingleApp(t *testing.T) {
+	var buf bytes.Buffer
+	err := Table1(Options{Scale: 1, Apps: []string{"Volrend"}}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Volrend", "sequential", "Base checks", "SMP checks", "average"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMicroLatencies(t *testing.T) {
+	lat, err := MicroDowngradeLatency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k < 4; k++ {
+		if lat[k] <= lat[k-1] {
+			t.Errorf("latency with %d downgrades (%.1f) not above %d (%.1f)",
+				k, lat[k], k-1, lat[k-1])
+		}
+	}
+	remote, local, err := FetchLatencies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote < 14 || remote > 26 {
+		t.Errorf("remote fetch = %.1f us, want ~20", remote)
+	}
+	if local < 7 || local > 15 {
+		t.Errorf("local fetch = %.1f us, want ~11", local)
+	}
+}
+
+// TestFig8SingleApp checks the downgrade-distribution report for the
+// migratory outlier shape on Water-Nsq.
+func TestFig8SingleApp(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig8(Options{Scale: 1, Apps: []string{"Water-Nsq"}}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Water-Nsq") {
+		t.Fatalf("report missing app:\n%s", buf.String())
+	}
+}
+
+func TestAppFilter(t *testing.T) {
+	got := appList(Options{Apps: []string{"LU", "Nope"}}, []string{"Barnes", "LU", "Ocean"})
+	if len(got) != 1 || got[0] != "LU" {
+		t.Fatalf("appList = %v, want [LU]", got)
+	}
+	all := appList(Options{}, []string{"a", "b"})
+	if len(all) != 2 {
+		t.Fatalf("empty filter should keep defaults, got %v", all)
+	}
+}
+
+func TestRunCaching(t *testing.T) {
+	ResetCache()
+	r1, err := runApp("Volrend", 1, shasta.Config{Procs: 4, Clustering: 4}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := runApp("Volrend", 1, shasta.Config{Procs: 4, Clustering: 4}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Result.Stats != r2.Result.Stats {
+		t.Fatal("second identical run was not served from the cache")
+	}
+	if _, err := runApp("NotAnApp", 1, shasta.Config{Procs: 4}, false); err == nil {
+		t.Fatal("unknown application accepted")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if speedup(100, 50) != 2 {
+		t.Error("speedup wrong")
+	}
+	if speedup(100, 0) != 0 {
+		t.Error("speedup should guard division by zero")
+	}
+	if pct(0.125) != "12.5%" {
+		t.Errorf("pct = %q", pct(0.125))
+	}
+	if secs(300e6) != "1.0000s" {
+		t.Errorf("secs = %q", secs(300e6))
+	}
+	if smpConfig(2).Clustering != 2 || smpConfig(16).Clustering != 4 {
+		t.Error("smpConfig clustering selection wrong")
+	}
+	if baseConfig(8).Clustering != 1 {
+		t.Error("baseConfig clustering wrong")
+	}
+}

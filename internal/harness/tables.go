@@ -1,0 +1,156 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro"
+	"repro/internal/apps"
+)
+
+// Table1 reproduces Table 1: the sequential running time of every
+// application and the single-processor slowdown caused by Base-Shasta and
+// SMP-Shasta inline miss checks. The paper measures 14.7% average for Base
+// and 24.0% for SMP, with Raytrace and the two Waters most affected by the
+// costlier SMP floating-point and batch checks.
+func Table1(o Options, w io.Writer) error {
+	o = o.WithDefaults()
+	names := appList(o, apps.Names)
+	tw := newTab(w)
+	fmt.Fprintln(tw, "app\tproblem size\tsequential\twith Base checks\twith SMP checks")
+	var baseSum, smpSum float64
+	for _, name := range names {
+		seq, err := seqCycles(name, o.Scale)
+		if err != nil {
+			return err
+		}
+		base, err := runApp(name, o.Scale, shasta.Config{Procs: 1}, false)
+		if err != nil {
+			return err
+		}
+		smp, err := runApp(name, o.Scale, shasta.Config{Procs: 1, ForceSMPChecks: true}, false)
+		if err != nil {
+			return err
+		}
+		bOver := float64(base.Result.ParallelCycles)/float64(seq) - 1
+		sOver := float64(smp.Result.ParallelCycles)/float64(seq) - 1
+		baseSum += bOver
+		smpSum += sOver
+		prob := apps.Registry[name](o.Scale).ProblemSize()
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s (%s)\t%s (%s)\n",
+			name, prob, secs(seq),
+			secs(base.Result.ParallelCycles), pct(bOver),
+			secs(smp.Result.ParallelCycles), pct(sOver))
+	}
+	fmt.Fprintf(tw, "average\t\t\t%s\t%s\n",
+		pct(baseSum/float64(len(names))), pct(smpSum/float64(len(names))))
+	return tw.Flush()
+}
+
+// table2Entries describes the per-structure granularity hints of Table 2.
+var table2Entries = []struct {
+	App       string
+	Structure string
+	BlockSize int
+}{
+	{"Barnes", "cell, leaf arrays", 512},
+	{"FMM", "box array", 256},
+	{"LU", "matrix array", 128},
+	{"LU-Contig", "matrix block", 2048},
+	{"Volrend", "opacity, normal maps", 1024},
+	{"Water-Nsq", "molecule array", 2048},
+}
+
+// table2Apps lists Table 2's applications in order.
+func table2Apps() []string {
+	out := make([]string, len(table2Entries))
+	for i, e := range table2Entries {
+		out[i] = e.App
+	}
+	return out
+}
+
+// Table2 reproduces Table 2: for the six applications whose key structures
+// get larger coherence blocks, the 16-processor Base-Shasta speedup with
+// the default 64-byte blocks versus the specified granularity. Variable
+// granularity must improve every application's speedup.
+func Table2(o Options, w io.Writer) error {
+	o = o.WithDefaults()
+	names := appList(o, table2Apps())
+	tw := newTab(w)
+	fmt.Fprintln(tw, "app\tselected structure(s)\tblock size\t16p speedup (64B)\t16p speedup (specified)")
+	for _, e := range table2Entries {
+		found := false
+		for _, n := range names {
+			if n == e.App {
+				found = true
+			}
+		}
+		if !found {
+			continue
+		}
+		seq, err := seqCycles(e.App, o.Scale)
+		if err != nil {
+			return err
+		}
+		def, err := runApp(e.App, o.Scale, baseConfig(16), false)
+		if err != nil {
+			return err
+		}
+		vg, err := runApp(e.App, o.Scale, baseConfig(16), true)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.2f\t%.2f\n",
+			e.App, e.Structure, e.BlockSize,
+			speedup(seq, def.Result.ParallelCycles),
+			speedup(seq, vg.Result.ParallelCycles))
+	}
+	return tw.Flush()
+}
+
+// table3Apps are the seven applications of Table 3.
+var table3Apps = []string{"Barnes", "FMM", "LU", "LU-Contig", "Ocean", "Water-Nsq", "Water-Sp"}
+
+// Table3 reproduces Table 3: larger problem sizes (double the default
+// scale), with sequential times, checking overheads, and 16-processor
+// speedups for Base-Shasta and SMP-Shasta with clustering 4. Speedups must
+// improve over the smaller problems of Table 2 / Figure 3, and SMP-Shasta
+// should still win for most applications.
+func Table3(o Options, w io.Writer) error {
+	o = o.WithDefaults()
+	scale := o.Scale * 2
+	names := appList(o, table3Apps)
+	tw := newTab(w)
+	fmt.Fprintln(tw, "app\tproblem size\tsequential\tbase ovh\tsmp ovh\t16p speedup base\t16p speedup smp")
+	for _, name := range names {
+		seq, err := seqCycles(name, scale)
+		if err != nil {
+			return err
+		}
+		baseChk, err := runApp(name, scale, shasta.Config{Procs: 1}, false)
+		if err != nil {
+			return err
+		}
+		smpChk, err := runApp(name, scale, shasta.Config{Procs: 1, ForceSMPChecks: true}, false)
+		if err != nil {
+			return err
+		}
+		base16, err := runApp(name, scale, baseConfig(16), false)
+		if err != nil {
+			return err
+		}
+		smp16, err := runApp(name, scale, smpConfig(16), false)
+		if err != nil {
+			return err
+		}
+		prob := apps.Registry[name](scale).ProblemSize()
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%.2f\t%.2f\n",
+			name, prob, secs(seq),
+			pct(float64(baseChk.Result.ParallelCycles)/float64(seq)-1),
+			pct(float64(smpChk.Result.ParallelCycles)/float64(seq)-1),
+			speedup(seq, base16.Result.ParallelCycles),
+			speedup(seq, smp16.Result.ParallelCycles))
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,169 @@
+// Package memchan models the cluster interconnect of the paper's prototype:
+// four AlphaServer 4100 nodes connected by Digital's Memory Channel, plus
+// the cache-coherent shared-memory message queues used between processors
+// on the same node.
+//
+// The model reproduces the paper's measured characteristics:
+//
+//   - one-way user-to-user latency over the Memory Channel of about 4 us;
+//   - about 35 MB/s of effective Memory Channel bandwidth for block data,
+//     with the processors of a node sharing their node's link (the paper
+//     keeps per-processor bandwidth identical between Base-Shasta and
+//     SMP-Shasta this way);
+//   - much cheaper intra-node messages through per-pair shared-memory
+//     queues that need no locking.
+//
+// Combined with the protocol handler occupancies in package protocol, the
+// model yields the paper's ~20 us two-hop remote fetch and ~11 us
+// intra-node fetch of a 64-byte block.
+package memchan
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Topology maps processors onto physical SMP nodes.
+type Topology struct {
+	// NumProcs is the total number of processors.
+	NumProcs int
+	// ProcsPerNode is the number of processors per SMP node (4 for the
+	// AlphaServer 4100s of the prototype).
+	ProcsPerNode int
+}
+
+// Validate checks the topology is well formed.
+func (t Topology) Validate() error {
+	if t.NumProcs <= 0 || t.ProcsPerNode <= 0 {
+		return fmt.Errorf("memchan: non-positive topology %+v", t)
+	}
+	if t.NumProcs%t.ProcsPerNode != 0 && t.NumProcs > t.ProcsPerNode {
+		return fmt.Errorf("memchan: %d processors not divisible into nodes of %d",
+			t.NumProcs, t.ProcsPerNode)
+	}
+	return nil
+}
+
+// NumNodes returns the number of SMP nodes.
+func (t Topology) NumNodes() int {
+	n := (t.NumProcs + t.ProcsPerNode - 1) / t.ProcsPerNode
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// NodeOf returns the node index hosting processor p.
+func (t Topology) NodeOf(p int) int { return p / t.ProcsPerNode }
+
+// SameNode reports whether two processors share a physical node.
+func (t Topology) SameNode(a, b int) bool { return t.NodeOf(a) == t.NodeOf(b) }
+
+// Params are the timing parameters of the interconnect, in cycles of the
+// 300 MHz processor clock (300 cycles = 1 us).
+type Params struct {
+	// RemoteWire is the one-way Memory Channel latency for the first
+	// byte of a message (the paper's ~4 us).
+	RemoteWire int64
+	// RemoteBytesPerKCycle is Memory Channel data bandwidth in bytes per
+	// 1000 cycles. 35 MB/s at 300 MHz is 35/300*1000 = ~117 bytes per
+	// thousand cycles.
+	RemoteBytesPerKCycle int64
+	// LocalWire is the one-way latency of an intra-node shared-memory
+	// queue message.
+	LocalWire int64
+	// LocalBytesPerKCycle is intra-node data bandwidth (the paper's
+	// ~45 MB/s fetch bandwidth, i.e. 150 bytes per thousand cycles).
+	LocalBytesPerKCycle int64
+	// HeaderBytes is added to every message's payload size for
+	// transfer-time purposes.
+	HeaderBytes int
+}
+
+// DefaultParams returns parameters calibrated to the paper's prototype.
+func DefaultParams() Params {
+	return Params{
+		RemoteWire:           1200, // 4 us
+		RemoteBytesPerKCycle: 117,  // ~35 MB/s
+		LocalWire:            150,  // 0.5 us
+		LocalBytesPerKCycle:  450,  // ~135 MB/s within an SMP
+		HeaderBytes:          16,
+	}
+}
+
+// Network computes message latencies and models per-node Memory Channel
+// link occupancy. It is used from inside simulator processor contexts only,
+// so it needs no locking.
+type Network struct {
+	topo Topology
+	par  Params
+	// linkFree[n] is the earliest cycle node n's outgoing Memory Channel
+	// link is free.
+	linkFree []int64
+	// counters for diagnostics
+	remoteSends, localSends int64
+	remoteBytes             int64
+}
+
+// New builds a network for the topology. It panics on an invalid topology,
+// which is a programming error of the embedding configuration code.
+func New(topo Topology, par Params) *Network {
+	if err := topo.Validate(); err != nil {
+		panic(err)
+	}
+	return &Network{
+		topo:     topo,
+		par:      par,
+		linkFree: make([]int64, topo.NumNodes()),
+	}
+}
+
+// Topology returns the network's processor-to-node mapping.
+func (n *Network) Topology() Topology { return n.topo }
+
+// SameNode reports whether two processors share a physical node.
+func (n *Network) SameNode(a, b int) bool { return n.topo.SameNode(a, b) }
+
+// transferCycles returns the serialization time for a payload.
+func transferCycles(bytes int, bytesPerKCycle int64) int64 {
+	if bytes <= 0 || bytesPerKCycle <= 0 {
+		return 0
+	}
+	return (int64(bytes)*1000 + bytesPerKCycle - 1) / bytesPerKCycle
+}
+
+// Send transmits payload of the given size from processor p to dst,
+// computing arrival time from the topology: intra-node messages use the
+// shared-memory queues, inter-node messages use (and occupy) the sender
+// node's Memory Channel link.
+func (n *Network) Send(p *sim.Proc, dst int, payloadBytes int, payload any) {
+	size := payloadBytes + n.par.HeaderBytes
+	if n.topo.SameNode(p.ID, dst) {
+		n.localSends++
+		lat := n.par.LocalWire + transferCycles(size, n.par.LocalBytesPerKCycle)
+		p.Send(dst, lat, payload)
+		return
+	}
+	n.remoteSends++
+	n.remoteBytes += int64(size)
+	node := n.topo.NodeOf(p.ID)
+	transfer := transferCycles(size, n.par.RemoteBytesPerKCycle)
+	start := p.Now()
+	if n.linkFree[node] > start {
+		start = n.linkFree[node]
+	}
+	n.linkFree[node] = start + transfer
+	arrival := start + transfer + n.par.RemoteWire
+	p.SendAt(dst, arrival, payload)
+}
+
+// RemoteSends returns the number of inter-node messages sent so far.
+func (n *Network) RemoteSends() int64 { return n.remoteSends }
+
+// LocalSends returns the number of intra-node messages sent so far.
+func (n *Network) LocalSends() int64 { return n.localSends }
+
+// RemoteBytes returns total bytes (including headers) pushed over the
+// Memory Channel.
+func (n *Network) RemoteBytes() int64 { return n.remoteBytes }

@@ -1,0 +1,175 @@
+package memchan
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func TestTopology(t *testing.T) {
+	topo := Topology{NumProcs: 16, ProcsPerNode: 4}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := topo.NumNodes(); got != 4 {
+		t.Fatalf("NumNodes = %d, want 4", got)
+	}
+	if topo.NodeOf(0) != 0 || topo.NodeOf(3) != 0 || topo.NodeOf(4) != 1 || topo.NodeOf(15) != 3 {
+		t.Fatal("NodeOf mapping wrong")
+	}
+	if !topo.SameNode(0, 3) || topo.SameNode(3, 4) {
+		t.Fatal("SameNode wrong")
+	}
+}
+
+func TestTopologyValidate(t *testing.T) {
+	bad := []Topology{
+		{NumProcs: 0, ProcsPerNode: 4},
+		{NumProcs: 4, ProcsPerNode: 0},
+		{NumProcs: 6, ProcsPerNode: 4},
+	}
+	for _, tp := range bad {
+		if err := tp.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", tp)
+		}
+	}
+	// Fewer processors than a full node is fine (2-processor runs use a
+	// single node).
+	if err := (Topology{NumProcs: 2, ProcsPerNode: 4}).Validate(); err != nil {
+		t.Errorf("2-proc topology rejected: %v", err)
+	}
+}
+
+func TestLocalVsRemoteLatency(t *testing.T) {
+	topo := Topology{NumProcs: 8, ProcsPerNode: 4}
+	nw := New(topo, DefaultParams())
+	e := sim.NewEngine(8)
+	var localAt, remoteAt int64
+	e.Run(func(p *sim.Proc) {
+		switch p.ID {
+		case 0:
+			nw.Send(p, 1, 0, "local")
+			nw.Send(p, 4, 0, "remote")
+		case 1:
+			p.WaitRecv(stats.Read, "t")
+			localAt = p.Now()
+		case 4:
+			p.WaitRecv(stats.Read, "t")
+			remoteAt = p.Now()
+		}
+	})
+	if localAt >= remoteAt {
+		t.Fatalf("local latency %d not cheaper than remote %d", localAt, remoteAt)
+	}
+	// Remote small message should be about 4 us (1200 cycles) plus the
+	// header transfer time.
+	if remoteAt < 1200 || remoteAt > 1800 {
+		t.Fatalf("remote arrival %d cycles, want ~1200-1800", remoteAt)
+	}
+}
+
+func TestLinkSerialization(t *testing.T) {
+	// Two large back-to-back remote sends from the same node must
+	// serialize on the node's link: the second arrives a full transfer
+	// time after the first.
+	topo := Topology{NumProcs: 8, ProcsPerNode: 4}
+	par := DefaultParams()
+	nw := New(topo, par)
+	e := sim.NewEngine(8)
+	var first, second int64
+	e.Run(func(p *sim.Proc) {
+		switch p.ID {
+		case 0:
+			nw.Send(p, 4, 1024, 1)
+			nw.Send(p, 4, 1024, 2)
+		case 4:
+			p.WaitRecv(stats.Read, "t")
+			first = p.Now()
+			p.WaitRecv(stats.Read, "t")
+			second = p.Now()
+		}
+	})
+	transfer := (int64(1024+par.HeaderBytes) * 1000) / par.RemoteBytesPerKCycle
+	gap := second - first
+	if gap < transfer-10 || gap > transfer+10 {
+		t.Fatalf("gap between serialized sends = %d, want ~%d", gap, transfer)
+	}
+}
+
+func TestLinkSharedAcrossNodeProcessors(t *testing.T) {
+	// Processors 0 and 1 are on the same node; their simultaneous remote
+	// sends contend for one link.
+	topo := Topology{NumProcs: 8, ProcsPerNode: 4}
+	par := DefaultParams()
+	nw := New(topo, par)
+	e := sim.NewEngine(8)
+	arrivals := make([]int64, 0, 2)
+	e.Run(func(p *sim.Proc) {
+		switch p.ID {
+		case 0, 1:
+			nw.Send(p, 4+p.ID, 2048, p.ID)
+		case 4, 5:
+			p.WaitRecv(stats.Read, "t")
+			arrivals = append(arrivals, p.Now())
+		}
+	})
+	if len(arrivals) != 2 {
+		t.Fatalf("got %d arrivals", len(arrivals))
+	}
+	transfer := (int64(2048+par.HeaderBytes) * 1000) / par.RemoteBytesPerKCycle
+	diff := arrivals[1] - arrivals[0]
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff < transfer/2 {
+		t.Fatalf("same-node senders did not serialize: arrivals %v", arrivals)
+	}
+}
+
+func TestLocalSendsBypassLink(t *testing.T) {
+	topo := Topology{NumProcs: 4, ProcsPerNode: 4}
+	nw := New(topo, DefaultParams())
+	e := sim.NewEngine(4)
+	e.Run(func(p *sim.Proc) {
+		if p.ID == 0 {
+			nw.Send(p, 1, 64, "x")
+		} else if p.ID == 1 {
+			p.WaitRecv(stats.Read, "t")
+		}
+	})
+	if nw.RemoteSends() != 0 || nw.LocalSends() != 1 {
+		t.Fatalf("remote=%d local=%d, want 0/1", nw.RemoteSends(), nw.LocalSends())
+	}
+}
+
+// Property: latency is nonnegative and monotonically nondecreasing in
+// payload size for both local and remote sends.
+func TestQuickLatencyMonotonicInSize(t *testing.T) {
+	topo := Topology{NumProcs: 8, ProcsPerNode: 4}
+	f := func(a, b uint16) bool {
+		small, big := int(a%4096), int(b%4096)
+		if small > big {
+			small, big = big, small
+		}
+		arr := func(dst, size int) int64 {
+			nw := New(topo, DefaultParams())
+			e := sim.NewEngine(8)
+			var at int64
+			e.Run(func(p *sim.Proc) {
+				if p.ID == 0 {
+					nw.Send(p, dst, size, "x")
+				} else if p.ID == dst {
+					p.WaitRecv(stats.Read, "t")
+					at = p.Now()
+				}
+			})
+			return at
+		}
+		return arr(1, small) <= arr(1, big) && arr(4, small) <= arr(4, big)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

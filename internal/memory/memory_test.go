@@ -1,0 +1,230 @@
+package memory
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocBasic(t *testing.T) {
+	l := NewLayout(64, 1<<20)
+	a, err := l.Alloc(1000, 0) // <1024: single block of the whole object
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != 0 {
+		t.Fatalf("first alloc at %d, want 0", a)
+	}
+	base, lines := l.BlockOf(a + 500)
+	if base != 0 || lines != 16 { // 1000 rounded to 16 lines (1024 bytes)
+		t.Fatalf("BlockOf = (%d,%d), want (0,16)", base, lines)
+	}
+}
+
+func TestAllocDefaultGranularityLargeObject(t *testing.T) {
+	l := NewLayout(64, 1<<20)
+	a, err := l.Alloc(8192, 0) // >=1024: line-sized blocks
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lines := l.BlockOf(a)
+	if lines != 1 {
+		t.Fatalf("large object block lines = %d, want 1", lines)
+	}
+}
+
+func TestAllocVariableGranularity(t *testing.T) {
+	l := NewLayout(64, 1<<20)
+	a, err := l.Alloc(8192, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, lines := l.BlockOf(a + 2048 + 5)
+	if lines != 32 {
+		t.Fatalf("block lines = %d, want 32 (2048/64)", lines)
+	}
+	if l.LineAddr(base) != a+2048 {
+		t.Fatalf("second block base addr = %d, want %d", l.LineAddr(base), a+2048)
+	}
+}
+
+func TestAllocAlignmentAndAdjacency(t *testing.T) {
+	l := NewLayout(64, 1<<20)
+	a1, _ := l.Alloc(100, 0) // one 128-byte block (2 lines)
+	a2, _ := l.Alloc(64, 64) // one line
+	if a2 != a1+128 {
+		t.Fatalf("second alloc at %d, want %d", a2, a1+128)
+	}
+	b1, _ := l.BlockOf(a1)
+	b2, _ := l.BlockOf(a2)
+	if b1 == b2 {
+		t.Fatal("distinct allocations share a block")
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	l := NewLayout(64, 1024)
+	if _, err := l.Alloc(2048, 64); err == nil {
+		t.Fatal("expected heap exhaustion error")
+	}
+	if _, err := l.Alloc(-1, 64); err == nil {
+		t.Fatal("expected error for negative size")
+	}
+}
+
+func TestImageStartsFlagFilled(t *testing.T) {
+	l := NewLayout(64, 4096)
+	img := NewImage(l)
+	for a := Addr(0); a < 4096; a += 4 {
+		if !img.HasFlagWord(a) {
+			t.Fatalf("address %d not flag-filled at start", a)
+		}
+	}
+	if img.State(0) != Invalid {
+		t.Fatal("lines should start Invalid")
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	l := NewLayout(64, 4096)
+	img := NewImage(l)
+	img.WriteF64(8, 3.25)
+	if got := img.ReadF64(8); got != 3.25 {
+		t.Fatalf("ReadF64 = %v", got)
+	}
+	img.WriteU32(100, 0xCAFE)
+	if got := img.ReadU32(100); got != 0xCAFE {
+		t.Fatalf("ReadU32 = %#x", got)
+	}
+	img.WriteU64(200, 1<<40)
+	if got := img.ReadU64(200); got != 1<<40 {
+		t.Fatalf("ReadU64 = %d", got)
+	}
+}
+
+func TestFillFlagAndCopyIn(t *testing.T) {
+	l := NewLayout(64, 4096)
+	a, _ := l.Alloc(128, 128)
+	img := NewImage(l)
+	base, _ := l.BlockOf(a)
+	img.WriteF64(a, 42.0)
+	img.FillFlag(base)
+	if !img.HasFlagWord(a) {
+		t.Fatal("FillFlag did not store the flag")
+	}
+	fresh := make([]byte, 128)
+	for i := range fresh {
+		fresh[i] = byte(i)
+	}
+	img.CopyBlockIn(base, fresh)
+	got := img.BlockData(base)
+	for i := range fresh {
+		if got[i] != fresh[i] {
+			t.Fatalf("byte %d = %d after CopyBlockIn", i, got[i])
+		}
+	}
+}
+
+func TestBlockStateCoversWholeBlock(t *testing.T) {
+	l := NewLayout(64, 4096)
+	a, _ := l.Alloc(256, 256) // 4-line block
+	img := NewImage(l)
+	base, lines := l.BlockOf(a)
+	img.SetBlockState(base, Exclusive)
+	for i := 0; i < lines; i++ {
+		if img.State(base+i) != Exclusive {
+			t.Fatalf("line %d state = %v", base+i, img.State(base+i))
+		}
+	}
+	if img.BlockState(a+200) != Exclusive {
+		t.Fatal("BlockState on interior address wrong")
+	}
+}
+
+func TestFlagF64Pattern(t *testing.T) {
+	bits := math.Float64bits(FlagF64)
+	if uint32(bits) != FlagWord || uint32(bits>>32) != FlagWord {
+		t.Fatalf("FlagF64 bits = %#x, want both halves %#x", bits, FlagWord)
+	}
+}
+
+func TestPrivateTable(t *testing.T) {
+	l := NewLayout(64, 4096)
+	a, _ := l.Alloc(256, 256)
+	pt := NewPrivateTable(l)
+	base, lines := l.BlockOf(a)
+	if pt.Get(base) != Invalid {
+		t.Fatal("private table should start Invalid")
+	}
+	pt.SetBlock(l, base, Shared)
+	for i := 0; i < lines; i++ {
+		if pt.Get(base+i) != Shared {
+			t.Fatalf("line %d private state = %v", base+i, pt.Get(base+i))
+		}
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	cases := map[State]string{
+		Invalid: "I", Shared: "S", Exclusive: "E",
+		PendingRead: "Pr", PendingExcl: "Px", PendingDowngrade: "Pd",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+	if !Shared.Valid() || !Exclusive.Valid() || Invalid.Valid() || PendingRead.Valid() {
+		t.Error("Valid() classification wrong")
+	}
+}
+
+// Property: every address within an allocation maps to a block fully
+// contained in that allocation, block bases are block-size aligned relative
+// to the allocation start, and all lines of a block agree on their base.
+func TestQuickBlockMapping(t *testing.T) {
+	f := func(sz, bsz uint16, probe uint16) bool {
+		size := int64(sz%5000) + 1
+		blockSize := int(bsz%1024) + 1
+		l := NewLayout(64, 1<<20)
+		a, err := l.Alloc(size, blockSize)
+		if err != nil {
+			return false
+		}
+		off := int64(probe) % size
+		base, lines := l.BlockOf(a + Addr(off))
+		baseAddr := l.LineAddr(base)
+		// Block contains the address.
+		if baseAddr > a+Addr(off) || baseAddr+Addr(lines*64) <= a+Addr(off) {
+			return false
+		}
+		// All lines in the block agree.
+		for i := 0; i < lines; i++ {
+			b2, n2 := l.BlockOf(baseAddr + Addr(i*64))
+			if b2 != base || n2 != lines {
+				return false
+			}
+		}
+		// Block length covers the rounded block size.
+		bLines := (blockSize + 63) / 64
+		return lines == bLines
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: data written with WriteU32 at a flag-free location never reads
+// back as the flag unless the written value is the flag itself.
+func TestQuickFlagDetection(t *testing.T) {
+	l := NewLayout(64, 4096)
+	f := func(v uint32, off uint8) bool {
+		img := NewImage(l)
+		addr := Addr(int(off)%1000) &^ 3
+		img.WriteU32(addr, v)
+		return img.HasFlagWord(addr) == (v == FlagWord)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,351 @@
+package protocol
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/memory"
+	"repro/internal/stats"
+)
+
+// Batching (Sections 2.3 and 3.4.4): when a sequence of loads and stores
+// covers a bounded range off a set of base addresses, Shasta emits one
+// check per (line, base register) pair instead of one per access. The batch
+// miss handler fetches every missing block and the batched code then runs
+// without further checks.
+//
+// Because the batched accesses are not atomic with their checks,
+// SMP-Shasta batch checks always consult the private state table (the flag
+// technique is unsafe), which the paper identifies as the largest source of
+// extra checking overhead. And because blocks can be invalidated while the
+// handler waits for replies, blocks touched by a batch are marked:
+// invalidation of a marked block is deferred until the batch ends, keeping
+// batched loads correct.
+
+// BatchRef describes one base register of a batch: the address range
+// [Base, Base+Bytes) it can touch and whether any batched access through it
+// is a store.
+type BatchRef struct {
+	Base  memory.Addr
+	Bytes int
+	Store bool
+}
+
+// Batch is the access context passed to a batched code sequence; its
+// operations perform no per-access checks.
+type Batch struct {
+	p *Proc
+}
+
+// LoadF64 reads a float64 without a per-access check.
+func (b *Batch) LoadF64(addr memory.Addr) float64 {
+	v := b.p.rawRead(addr, 8)
+	if debugBatchFlagReads && uint32(v) == memory.FlagWord && uint32(v>>32) == memory.FlagWord {
+		base, _ := b.p.sys.lay.BlockOf(addr)
+		panic(fmt.Sprintf("batched load of flag value at addr %d (proc %d, block %d state %v, marks %d, inBatch %d)",
+			addr, b.p.id, base, b.p.grp.img.State(base), b.p.grp.batchMarks[base], b.p.inBatch))
+	}
+	return math.Float64frombits(v)
+}
+
+// debugBatchFlagReads enables a diagnostic panic when a batched load reads
+// the invalid-flag bit pattern, which almost always indicates a protocol
+// bug rather than real application data.
+var debugBatchFlagReads = false
+
+// LoadU64 reads a 64-bit integer without a per-access check.
+func (b *Batch) LoadU64(addr memory.Addr) uint64 { return b.p.rawRead(addr, 8) }
+
+// LoadU32 reads a 32-bit integer without a per-access check.
+func (b *Batch) LoadU32(addr memory.Addr) uint32 { return uint32(b.p.rawRead(addr, 4)) }
+
+// StoreF64 writes a float64 without a per-access check.
+func (b *Batch) StoreF64(addr memory.Addr, v float64) {
+	b.p.rawWrite(addr, 8, math.Float64bits(v))
+}
+
+// StoreU64 writes a 64-bit integer without a per-access check.
+func (b *Batch) StoreU64(addr memory.Addr, v uint64) { b.p.rawWrite(addr, 8, v) }
+
+// StoreU32 writes a 32-bit integer without a per-access check.
+func (b *Batch) StoreU32(addr memory.Addr, v uint32) { b.p.rawWrite(addr, 4, uint64(v)) }
+
+// Compute charges application work inside the batch.
+func (b *Batch) Compute(cycles int64) { b.p.Compute(cycles) }
+
+// Batch executes f as a batched access sequence over the given references.
+// The inline batch checks are charged; if every referenced block is in a
+// sufficient state the sequence runs immediately, otherwise the batch miss
+// handler fetches the missing blocks first.
+func (p *Proc) Batch(refs []BatchRef, f func(*Batch)) {
+	b := &Batch{p: p}
+	if p.sys.cfg.Hardware {
+		f(b)
+		return
+	}
+	p.poll()
+	cfg := &p.sys.cfg
+	lay := p.sys.lay
+
+	// Collect the (block, needStore) requirements and count line pairs
+	// for check-cost purposes.
+	linePairs := 0
+	loadOnly := true
+	needs := make(map[int]need2)
+	for _, r := range refs {
+		if r.Bytes <= 0 {
+			continue
+		}
+		first := lay.LineOf(r.Base)
+		last := lay.LineOf(r.Base + memory.Addr(r.Bytes) - 1)
+		linePairs += last - first + 1
+		if r.Store {
+			loadOnly = false
+		}
+		for li := first; li <= last; {
+			base, lines := lay.BlockOf(lay.LineAddr(li))
+			n := needs[base]
+			n.store = n.store || r.Store
+			needs[base] = n
+			li = base + lines
+		}
+	}
+	p.charge(stats.Task, cfg.CheckCosts.BatchCheck(cfg.CheckMode(), linePairs, loadOnly))
+	p.st.ChecksExecuted++
+
+	bases := make([]int, 0, len(needs))
+	for base := range needs {
+		bases = append(bases, base)
+	}
+	sort.Ints(bases)
+	ok := true
+	for _, base := range bases {
+		if !p.batchStateOK(base, needs[base].store) {
+			ok = false
+			break
+		}
+	}
+	if !ok {
+		p.batchMiss(bases, needs)
+	}
+	p.inBatch++
+	f(b)
+	p.inBatch--
+	if !ok {
+		// Markers exist only when the miss handler ran; a batch whose
+		// checks all passed proceeds without them (its body performs no
+		// message handling, and in SMP mode any concurrent downgrade
+		// waits on this processor's downgrade message, which it handles
+		// only after the body).
+		p.batchEnd(bases)
+	}
+}
+
+// batchStateOK reports whether the processor may access the block within a
+// batch without protocol intervention: the inline batch check.
+func (p *Proc) batchStateOK(base int, store bool) bool {
+	st := p.privState(base)
+	if store {
+		return st == memory.Exclusive
+	}
+	return st.Valid()
+}
+
+// batchMiss is the batch miss handler: it marks every block of the batch,
+// issues requests for all insufficient blocks — pipelined, like the real
+// handler, which "sends out requests for any missing blocks" and only then
+// waits for the replies — and stalls until every block is available.
+func (p *Proc) batchMiss(bases []int, needs map[int]need2) {
+	c := p.sys.cfg.Costs
+	p.charge(stats.Task, c.Entry)
+	// Mark all blocks first so the invalid-flag store for any block
+	// invalidated while the handler waits is deferred until the batch
+	// ends, keeping batched loads correct (the paper's batch markers).
+	for _, base := range bases {
+		p.grp.batchMarks[base]++
+	}
+	// Issue-then-wait rounds. While waiting the handler services
+	// incoming requests, so an earlier-acquired store block may be
+	// downgraded again; the outer loop re-checks until one pass finds
+	// every block sufficient. (Load blocks invalidated during the wait
+	// need no re-fetch: their data stays until the deferred flag store.)
+	// Once a pass succeeds the batch body is safe: this processor's
+	// private state makes it a recipient of any downgrade, and it does
+	// not poll again until the body has completed, so a downgrade's data
+	// capture cannot precede the batched stores.
+	for round := 0; ; round++ {
+		if round > 0 {
+			// Stagger retries so two batches stealing each other's
+			// store blocks cannot alternate forever — the deterministic
+			// analogue of the timing jitter that resolves such duels on
+			// real hardware. Higher processor IDs and later rounds back
+			// off longer, so some batch always completes a full pass.
+			backoff := int64((p.id+1)*151 + round*977)
+			if backoff > 60000 {
+				backoff = 60000
+			}
+			p.charge(stats.Other, backoff)
+		}
+		if round > 0 && round%1000 == 0 {
+			var detail string
+			for _, b := range bases {
+				e := p.grp.miss[b]
+				es := "-"
+				if e != nil {
+					es = fmt.Sprintf("%v(iss%d,da%v,eg%v,acks%d/%d,det? n)", e.kind, e.issuer, e.dataArrived, e.exclGranted, e.acksReceived, e.acksExpected)
+				}
+				detail += fmt.Sprintf(" [%d st=%v priv=%v entry=%s dg=%v]", b, p.grp.img.State(b), p.privState(b), es, p.grp.downgrades[b] != nil)
+			}
+			panic(fmt.Sprintf("protocol: proc %d batch re-check round %d:%s", p.id, round, detail))
+		}
+		type waitItem struct {
+			base   int
+			store  bool
+			entry  *missEntry
+			dgWait bool
+		}
+		var waits []waitItem
+		for _, base := range bases {
+			store := needs[base].store
+			if round > 0 && !store && p.batchStateOK(base, false) {
+				continue
+			}
+			if p.batchStateOK(base, store) {
+				continue
+			}
+			entry, dgWait := p.batchIssue(base, store)
+			if entry != nil || dgWait {
+				waits = append(waits, waitItem{base, store, entry, dgWait})
+			}
+		}
+		if len(waits) == 0 {
+			return
+		}
+		for _, wi := range waits {
+			if wi.dgWait {
+				p.waitDowngrade(wi.base)
+				continue
+			}
+			entry := wi.entry
+			store := wi.store
+			cat := stats.Read
+			if store {
+				cat = stats.Write
+			}
+			p.stallUntil(cat, "batch-miss", func() bool {
+				return entry.complete ||
+					(entry.dataArrived && (!store || entry.exclGranted))
+			})
+			p.upgradePrivate(wi.base, store)
+		}
+	}
+}
+
+// batchIssue brings one block's fetch in flight (or satisfies it locally)
+// without stalling, so a batch's misses overlap. It returns the entry to
+// wait on (nil if no wait is needed) and whether the block is mid-downgrade
+// and must be waited out instead.
+func (p *Proc) batchIssue(base int, store bool) (*missEntry, bool) {
+	addr := p.sys.lay.LineAddr(base)
+	p.lockBlock(base)
+	defer p.unlockBlock(base)
+	if entry := p.grp.miss[base]; entry != nil && !entry.complete && !entry.acksOnly() {
+		// Merge with the pending request. (Acknowledgement-waiting
+		// entries are skipped: their data phase is over, so the state
+		// switch below decides instead.)
+		if entry.waiters == nil {
+			entry.waiters = make(map[int]bool)
+		}
+		entry.waiters[p.id] = true
+		if store {
+			entry.wantExcl = true
+		}
+		p.st.MergedMisses++
+		return entry, false
+	}
+	st := p.grp.img.State(base)
+	switch {
+	case st == memory.Exclusive:
+		p.charge(stats.Other, p.sys.cfg.Costs.PrivateUpgrade)
+		p.setPrivBlock(base, memory.Exclusive)
+		p.st.LocalHits++
+		return nil, false
+
+	case st == memory.Shared && !store:
+		p.charge(stats.Other, p.sys.cfg.Costs.PrivateUpgrade)
+		p.setPrivBlock(base, memory.Shared)
+		p.st.LocalHits++
+		return nil, false
+
+	case st == memory.Shared && store:
+		entry := p.newMissEntry(base, stats.UpgradeMiss)
+		entry.dataArrived = true // the shared copy is the data
+		entry.hasStores = true
+		entry.wantExcl = true
+		p.outstandingStores++
+		p.grp.img.SetBlockState(base, memory.PendingExcl)
+		p.sendHome(p.sys.homeProc(addr), &pmsg{kind: mUpgradeReq, baseLine: base,
+			requester: p.id, issueTime: p.sp.Now()}, stats.Write)
+		return entry, false
+
+	case st == memory.PendingDowngrade:
+		return nil, true
+
+	case st == memory.Invalid:
+		kind := stats.ReadMiss
+		mk := mReadReq
+		if store {
+			kind = stats.WriteMiss
+			mk = mReadExclReq
+		}
+		entry := p.newMissEntry(base, kind)
+		if store {
+			entry.hasStores = true
+			entry.wantExcl = true
+			p.outstandingStores++
+			p.grp.img.SetBlockState(base, memory.PendingExcl)
+		} else {
+			p.grp.img.SetBlockState(base, memory.PendingRead)
+		}
+		p.sendHome(p.sys.homeProc(addr), &pmsg{kind: mk, baseLine: base,
+			requester: p.id, issueTime: p.sp.Now()}, stats.Read)
+		return entry, false
+
+	default:
+		// A transient state; treat like a downgrade wait and re-check.
+		return nil, true
+	}
+}
+
+// upgradePrivate raises the private state after a batch fetch completes.
+func (p *Proc) upgradePrivate(base int, store bool) {
+	st := p.grp.img.State(base)
+	if st == memory.Exclusive {
+		p.setPrivBlock(base, memory.Exclusive)
+	} else if st == memory.Shared && !store {
+		p.setPrivBlock(base, memory.Shared)
+	}
+}
+
+// need2 mirrors the anonymous need struct of Batch (Go cannot reference a
+// function-local type from another function).
+type need2 = struct{ store bool }
+
+// batchEnd removes the batch markers and completes any invalid-flag stores
+// that were deferred while the batch ran.
+func (p *Proc) batchEnd(bases []int) {
+	for _, base := range bases {
+		p.grp.batchMarks[base]--
+		if p.grp.batchMarks[base] == 0 {
+			delete(p.grp.batchMarks, base)
+			// Complete any flag fill that invalidateLocal deferred.
+			if p.grp.img.State(base) == memory.Invalid && !p.grp.img.HasFlagWord(p.sys.lay.LineAddr(base)) {
+				p.grp.img.FillFlag(base)
+			}
+		}
+	}
+}
+
+// SetDebugBatchFlagReads toggles the batched-load flag-value diagnostic.
+func SetDebugBatchFlagReads(on bool) { debugBatchFlagReads = on }

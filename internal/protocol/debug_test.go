@@ -1,0 +1,50 @@
+package protocol
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestDebugBatchDeferred is a tracing variant of the deferred-invalidation
+// scenario, kept because it documents the exact message interleaving.
+func TestDebugBatchDeferred(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("tracing test; run with -v")
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("panic: %v", r)
+		}
+	}()
+	s := testSystem(8, 4)
+	a := s.AllocPlaced(64, 64, 0)
+	b2 := s.AllocPlaced(64, 64, 4)
+	s.Run(func(p *Proc) {
+		log := func(f string, args ...any) {
+			fmt.Printf("[p%d @%d] %s\n", p.ID(), p.Now(), fmt.Sprintf(f, args...))
+		}
+		if p.ID() == 0 {
+			p.StoreF64(a, 1.0)
+			log("stored A=1")
+		}
+		if p.ID() == 4 {
+			p.StoreF64(b2, 2.0)
+			log("stored B=2")
+		}
+		p.Barrier()
+		switch p.ID() {
+		case 0:
+			log("batch start")
+			p.Batch([]BatchRef{{Base: a, Bytes: 8}, {Base: b2, Bytes: 8}}, func(b *Batch) {
+				log("batch body: A=%v B=%v", b.LoadF64(a), b.LoadF64(b2))
+			})
+			log("batch end")
+		case 4:
+			p.StoreF64(a, 7.0)
+			log("stored A=7")
+		}
+		log("at barrier 2")
+		p.Barrier()
+		log("after barrier 2")
+	})
+}

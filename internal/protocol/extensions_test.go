@@ -1,0 +1,205 @@
+package protocol
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/memory"
+	"repro/internal/stats"
+)
+
+// extSystem builds a 16-processor SMP-Shasta system with optional
+// extensions.
+func extSystem(mod func(*Config)) *System {
+	cfg := Config{NumProcs: 16, ProcsPerNode: 4, Clustering: 4, HeapBytes: 1 << 20}
+	if mod != nil {
+		mod(&cfg)
+	}
+	return New(cfg)
+}
+
+// extWorkload runs a mixed workload exercising requests, upgrades and
+// barriers, and returns the final counter value for correctness checking.
+func extWorkload(s *System) uint64 {
+	a := s.Alloc(4096, 64)
+	l := s.AllocLock()
+	var final uint64
+	s.Run(func(p *Proc) {
+		p.Barrier()
+		for i := 0; i < 10; i++ {
+			addr := a + memory.Addr(((p.ID()*13+i*7)%64)*64)
+			p.LockAcquire(l)
+			p.StoreU64(addr, p.LoadU64(addr)+1)
+			p.LockRelease(l)
+			if i%3 == 0 {
+				p.Barrier()
+			}
+		}
+		p.Barrier()
+		var sum uint64
+		for b := 0; b < 64; b++ {
+			sum += p.LoadU64(a + memory.Addr(b*64))
+		}
+		if p.ID() == 0 {
+			final = sum
+		}
+		p.Barrier()
+	})
+	return final
+}
+
+func TestShareDirectoryCorrectAndCheaper(t *testing.T) {
+	base := extSystem(nil)
+	wantSum := extWorkload(base)
+	if wantSum != 160 {
+		t.Fatalf("baseline sum = %d, want 160", wantSum)
+	}
+	shared := extSystem(func(c *Config) { c.ShareDirectory = true })
+	if got := extWorkload(shared); got != wantSum {
+		t.Fatalf("ShareDirectory sum = %d, want %d", got, wantSum)
+	}
+	// Colocated home requests become direct directory accesses, so the
+	// shared-directory run must send fewer protocol messages.
+	bm := base.Stats().TotalMessages()
+	sm := shared.Stats().TotalMessages()
+	if sm >= bm {
+		t.Fatalf("ShareDirectory did not reduce messages: %d vs %d", sm, bm)
+	}
+	if err := shared.CheckQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+	if err := shared.CheckValueCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFastSyncBarrierCorrectAndCheaper(t *testing.T) {
+	run := func(fast bool) (*System, int64) {
+		s := extSystem(func(c *Config) { c.FastSync = fast })
+		a := s.Alloc(1024, 64)
+		finish := s.Run(func(p *Proc) {
+			p.Barrier()
+			if p.ID() == 0 {
+				p.ResetStats()
+			}
+			p.Barrier()
+			for i := 0; i < 20; i++ {
+				p.StoreU64(a+memory.Addr(p.ID()*64), uint64(i))
+				p.Barrier()
+			}
+		})
+		return s, finish
+	}
+	slow, _ := run(false)
+	fast, _ := run(true)
+	// Same result structure; the hierarchical barrier must cut sync time
+	// and barrier traffic.
+	st, ft := slow.Stats().TimeBy(stats.Sync), fast.Stats().TimeBy(stats.Sync)
+	if ft >= st {
+		t.Fatalf("FastSync did not reduce sync time: %d vs %d", ft, st)
+	}
+	sm, fm := slow.Stats().TotalMessages(), fast.Stats().TotalMessages()
+	if fm >= sm {
+		t.Fatalf("FastSync did not reduce messages: %d vs %d", fm, sm)
+	}
+	if err := fast.CheckQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcastDowngradesAblation(t *testing.T) {
+	// One processor per node touches a block that then migrates; with
+	// selective downgrades (private state tables) no downgrade messages
+	// are needed, while SoftFLASH-style broadcast sends three per
+	// downgrade. Correctness must hold either way.
+	run := func(broadcast bool) *System {
+		s := extSystem(func(c *Config) { c.BroadcastDowngrades = broadcast })
+		a := s.Alloc(64, 64)
+		l := s.AllocLock()
+		s.Run(func(p *Proc) {
+			p.Barrier()
+			if p.ID() == 0 {
+				p.ResetStats()
+			}
+			p.Barrier()
+			for round := 0; round < 3; round++ {
+				if p.ID()%4 == 0 { // one toucher per node
+					p.LockAcquire(l)
+					p.StoreU64(a, p.LoadU64(a)+1)
+					p.LockRelease(l)
+				}
+				p.Barrier()
+			}
+			if got := p.LoadU64(a); got != 12 {
+				t.Errorf("proc %d: counter = %d, want 12", p.ID(), got)
+			}
+			p.Barrier()
+		})
+		return s
+	}
+	selective := run(false)
+	broadcast := run(true)
+	sd := selective.Stats().MessagesBy(stats.DowngradeMsg)
+	bd := broadcast.Stats().MessagesBy(stats.DowngradeMsg)
+	if sd != 0 {
+		t.Fatalf("selective downgrades sent %d messages; private state tables should avoid all", sd)
+	}
+	if bd == 0 {
+		t.Fatal("broadcast mode sent no downgrade messages")
+	}
+	frac, total := broadcast.Stats().DowngradeDistribution()
+	if total == 0 || frac[3] == 0 {
+		t.Fatalf("broadcast downgrades should be 3-message: %v (total %d)", frac, total)
+	}
+}
+
+func TestExtensionsComposeWithStress(t *testing.T) {
+	// All three extensions together must preserve the stress-test
+	// semantics.
+	s := extSystem(func(c *Config) {
+		c.ShareDirectory = true
+		c.FastSync = true
+		c.BroadcastDowngrades = true
+	})
+	if got := extWorkload(s); got != 160 {
+		t.Fatalf("combined extensions sum = %d, want 160", got)
+	}
+	if err := s.CheckQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckValueCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvariantsAfterStress(t *testing.T) {
+	for _, cl := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("C%d", cl), func(t *testing.T) {
+			s := testSystem(16, cl)
+			a := s.Alloc(8192, 64)
+			l := s.AllocLock()
+			s.Run(func(p *Proc) {
+				p.Barrier()
+				for i := 0; i < 25; i++ {
+					addr := a + memory.Addr(((p.ID()*29+i*17)%128)*64)
+					p.LockAcquire(l)
+					p.StoreU64(addr, p.LoadU64(addr)+uint64(p.ID()))
+					p.LockRelease(l)
+				}
+				p.Barrier()
+			})
+			if err := s.CheckQuiescent(); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.CheckCoherence(); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.CheckValueCoherence(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

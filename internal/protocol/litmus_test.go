@@ -1,0 +1,228 @@
+package protocol
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/memory"
+)
+
+// Memory-consistency litmus tests. Shasta implements eager release
+// consistency: ordinary loads and stores are unordered between
+// synchronization operations, but a release (lock release, barrier arrival)
+// makes all earlier stores visible before the release completes, and an
+// acquire (lock acquire, barrier departure) observes everything released
+// before it. The paper additionally stresses that Shasta "will correctly
+// execute any Alpha program, whether or not the program exhibits races" —
+// racy programs get coherent (per-location single-writer) behaviour even
+// without synchronization. These litmus tests pin both properties down
+// across the protocol variants.
+
+// litmusConfigs are the protocol variants every litmus test must satisfy.
+func litmusConfigs() []Config {
+	return []Config{
+		{NumProcs: 8, ProcsPerNode: 4, Clustering: 1, HeapBytes: 1 << 20},
+		{NumProcs: 8, ProcsPerNode: 4, Clustering: 2, HeapBytes: 1 << 20},
+		{NumProcs: 8, ProcsPerNode: 4, Clustering: 4, HeapBytes: 1 << 20},
+		{NumProcs: 8, ProcsPerNode: 4, Clustering: 4, HeapBytes: 1 << 20,
+			ShareDirectory: true, FastSync: true},
+	}
+}
+
+func litmusName(cfg Config) string {
+	return fmt.Sprintf("C%d-dir%v", cfg.Clustering, cfg.ShareDirectory)
+}
+
+// TestLitmusMessagePassing: the classic MP pattern with a lock as the
+// release/acquire pair. P0 writes data then releases; P1 acquires and must
+// see the data. Never allowed to fail under release consistency.
+func TestLitmusMessagePassing(t *testing.T) {
+	for _, cfg := range litmusConfigs() {
+		t.Run(litmusName(cfg), func(t *testing.T) {
+			s := New(cfg)
+			data := s.Alloc(64, 64)
+			flag := s.Alloc(64, 64)
+			l := s.AllocLock()
+			const rounds = 6
+			s.Run(func(p *Proc) {
+				p.Barrier()
+				for r := 1; r <= rounds; r++ {
+					switch p.ID() {
+					case 0:
+						p.StoreU64(data, uint64(r*11))
+						p.LockAcquire(l)
+						p.StoreU64(flag, uint64(r))
+						p.LockRelease(l)
+					case 1:
+						for {
+							p.LockAcquire(l)
+							f := p.LoadU64(flag)
+							p.LockRelease(l)
+							if f >= uint64(r) {
+								break
+							}
+							p.Compute(200)
+						}
+						// The data write preceded the release that
+						// published flag=r; it must be visible.
+						if got := p.LoadU64(data); got < uint64(r*11) {
+							t.Errorf("round %d: read data %d after flag, want >= %d",
+								r, got, r*11)
+						}
+					}
+					p.Barrier()
+				}
+			})
+		})
+	}
+}
+
+// TestLitmusBarrierPublication: every processor writes its slot before a
+// barrier; after the barrier every processor sees every slot. The barrier's
+// release+acquire semantics make any stale read a failure.
+func TestLitmusBarrierPublication(t *testing.T) {
+	for _, cfg := range litmusConfigs() {
+		t.Run(litmusName(cfg), func(t *testing.T) {
+			s := New(cfg)
+			slots := s.Alloc(8*64, 64)
+			const rounds = 5
+			s.Run(func(p *Proc) {
+				p.Barrier()
+				for r := 1; r <= rounds; r++ {
+					p.StoreU64(slots+memory.Addr(p.ID()*64), uint64(r*100+p.ID()))
+					p.Barrier()
+					for q := 0; q < 8; q++ {
+						want := uint64(r*100 + q)
+						if got := p.LoadU64(slots + memory.Addr(q*64)); got != want {
+							t.Errorf("round %d: proc %d read slot %d = %d, want %d",
+								r, p.ID(), q, got, want)
+						}
+					}
+					p.Barrier()
+				}
+			})
+		})
+	}
+}
+
+// TestLitmusCoherencePerLocation: even without synchronization, writes to a
+// single location must appear in a single total order to all observers
+// (cache coherence). Two writers alternate values; a reader records the
+// sequence it observes, which must be non-decreasing in the writers'
+// per-value version numbers.
+func TestLitmusCoherencePerLocation(t *testing.T) {
+	for _, cfg := range litmusConfigs() {
+		t.Run(litmusName(cfg), func(t *testing.T) {
+			s := New(cfg)
+			x := s.Alloc(64, 64)
+			l := s.AllocLock()
+			var observed []uint64
+			s.Run(func(p *Proc) {
+				p.Barrier()
+				switch p.ID() {
+				case 0, 4:
+					for i := 1; i <= 10; i++ {
+						// Single-location version counter, lock-ordered
+						// so versions are a total order.
+						p.LockAcquire(l)
+						p.StoreU64(x, p.LoadU64(x)+1)
+						p.LockRelease(l)
+						p.Compute(300)
+					}
+				case 2:
+					for i := 0; i < 40; i++ {
+						observed = append(observed, p.LoadU64(x))
+						p.Compute(150)
+					}
+				}
+				p.Barrier()
+			})
+			for i := 1; i < len(observed); i++ {
+				if observed[i] < observed[i-1] {
+					t.Fatalf("coherence violation: observed %d then %d (position %d)",
+						observed[i-1], observed[i], i)
+				}
+			}
+		})
+	}
+}
+
+// TestLitmusStoreBufferingAllowed: the SB pattern (P0: x=1; r0=y. P1: y=1;
+// r1=x) may legitimately produce r0=r1=0 under release consistency with
+// non-blocking stores. This test documents that the relaxation exists
+// rather than asserting a specific outcome: whatever values are read must
+// be 0 or 1, and after a barrier both writes must be visible.
+func TestLitmusStoreBufferingAllowed(t *testing.T) {
+	for _, cfg := range litmusConfigs() {
+		t.Run(litmusName(cfg), func(t *testing.T) {
+			s := New(cfg)
+			x := s.AllocPlaced(64, 64, 0)
+			y := s.AllocPlaced(64, 64, 4)
+			var r0, r1 uint64
+			s.Run(func(p *Proc) {
+				p.Barrier()
+				switch p.ID() {
+				case 0:
+					p.StoreU64(x, 1)
+					r0 = p.LoadU64(y)
+				case 4:
+					p.StoreU64(y, 1)
+					r1 = p.LoadU64(x)
+				}
+				p.Barrier()
+				if got := p.LoadU64(x); got != 1 {
+					t.Errorf("proc %d: x = %d after barrier", p.ID(), got)
+				}
+				if got := p.LoadU64(y); got != 1 {
+					t.Errorf("proc %d: y = %d after barrier", p.ID(), got)
+				}
+			})
+			if r0 > 1 || r1 > 1 {
+				t.Fatalf("out-of-thin-air values: r0=%d r1=%d", r0, r1)
+			}
+		})
+	}
+}
+
+// TestLitmusLockHandoffChain passes a token around all processors through a
+// chain of locks; each hop must observe the previous hop's increment
+// (acquire/release transitivity, "cumulative" release consistency).
+func TestLitmusLockHandoffChain(t *testing.T) {
+	for _, cfg := range litmusConfigs() {
+		t.Run(litmusName(cfg), func(t *testing.T) {
+			s := New(cfg)
+			token := s.Alloc(64, 64)
+			locks := make([]int, 8)
+			for i := range locks {
+				locks[i] = s.AllocLock()
+			}
+			const laps = 3
+			s.Run(func(p *Proc) {
+				p.Barrier()
+				for lap := 0; lap < laps; lap++ {
+					for {
+						p.LockAcquire(locks[p.ID()])
+						v := p.LoadU64(token)
+						want := uint64(lap*8 + p.ID())
+						if v == want {
+							p.StoreU64(token, v+1)
+							p.LockRelease(locks[p.ID()])
+							break
+						}
+						if v > want {
+							t.Errorf("proc %d lap %d: token %d already past %d", p.ID(), lap, v, want)
+							p.LockRelease(locks[p.ID()])
+							return
+						}
+						p.LockRelease(locks[p.ID()])
+						p.Compute(500)
+					}
+				}
+				p.Barrier()
+				if got := p.LoadU64(token); got != laps*8 {
+					t.Errorf("proc %d: final token %d, want %d", p.ID(), got, laps*8)
+				}
+			})
+		})
+	}
+}

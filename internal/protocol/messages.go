@@ -1,0 +1,111 @@
+package protocol
+
+import (
+	"fmt"
+
+	"repro/internal/memory"
+)
+
+// msgKind enumerates the protocol message types.
+type msgKind int
+
+const (
+	// Requests to the home processor.
+	mReadReq msgKind = iota
+	mReadExclReq
+	mUpgradeReq
+
+	// Forwards from the home to the owner.
+	mReadFwd
+	mReadExclFwd
+
+	// Replies to the requester.
+	mDataReply     // shared data
+	mDataExclReply // exclusive data (+ number of invalidation acks to expect)
+	mUpgradeAck    // upgrade granted (+ number of invalidation acks to expect)
+
+	// Invalidations: home -> sharer, acknowledged to the requester.
+	mInval
+	mInvalAck
+
+	// Owner -> home notification after an exclusive-to-shared downgrade,
+	// so the home knows the block is no longer dirty remotely.
+	mSharingUpdate
+
+	// Intra-group downgrade messages (SMP-Shasta only).
+	mDowngradeToShared
+	mDowngradeToInvalid
+
+	// Intra-group wakeup for processors stalled on a pending block.
+	mWake
+
+	// Synchronization traffic.
+	mLockReq
+	mLockGrant
+	mLockRel
+	mBarArrive
+	mBarGo
+)
+
+var msgKindNames = map[msgKind]string{
+	mReadReq: "ReadReq", mReadExclReq: "ReadExclReq", mUpgradeReq: "UpgradeReq",
+	mReadFwd: "ReadFwd", mReadExclFwd: "ReadExclFwd",
+	mDataReply: "DataReply", mDataExclReply: "DataExclReply", mUpgradeAck: "UpgradeAck",
+	mInval: "Inval", mInvalAck: "InvalAck", mSharingUpdate: "SharingUpdate",
+	mDowngradeToShared: "DowngradeToShared", mDowngradeToInvalid: "DowngradeToInvalid",
+	mWake:    "Wake",
+	mLockReq: "LockReq", mLockGrant: "LockGrant", mLockRel: "LockRel",
+	mBarArrive: "BarArrive", mBarGo: "BarGo",
+}
+
+func (k msgKind) String() string {
+	if s, ok := msgKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("msgKind(%d)", int(k))
+}
+
+// pmsg is the payload of every protocol message.
+type pmsg struct {
+	kind msgKind
+	// baseLine identifies the block (its first line index).
+	baseLine int
+	// requester is the processor on whose behalf the message travels
+	// (for forwards, invalidations and acks).
+	requester int
+	// data carries block contents for data replies.
+	data []byte
+	// acks is the number of invalidation acknowledgements the requester
+	// should expect (data/upgrade replies).
+	acks int
+	// hops is 2 when the reply comes from the home, 3 when it comes from
+	// a third processor, for the Figure 6 classification.
+	hops int
+	// id is a lock or barrier identifier for synchronization messages.
+	id int
+	// issueTime is copied from the original request so latency can be
+	// measured at reply processing.
+	issueTime int64
+	// seq is the block's directory sequence number: the home increments
+	// it for every exclusivity grant, tags invalidations and replies
+	// with it, and groups tag their copies with the sequence that
+	// produced them. An invalidation whose sequence does not exceed the
+	// copy's is stale — it belongs to a write transaction serialized
+	// before the copy was granted — and is acknowledged without effect.
+	// (Replies and invalidations travel on independent channels, so a
+	// stale invalidation can physically arrive after a newer copy.)
+	seq int64
+}
+
+// sizeBytes returns the payload size used for transfer-time modelling:
+// control messages are small; data messages carry the block.
+func (m *pmsg) sizeBytes() int { return len(m.data) }
+
+// storeRec is one pending store recorded in a miss entry, replayed over the
+// reply data when it arrives (the protocol's non-blocking store merge).
+type storeRec struct {
+	addr memory.Addr
+	size int // 4 or 8 bytes
+	val  uint64
+	proc int // issuing processor (for release tracking)
+}

@@ -1,0 +1,291 @@
+package protocol
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memory"
+	"repro/internal/stats"
+)
+
+// This file holds regression tests for the specific race conditions and
+// protocol corner cases found while building the system. Each test encodes
+// a scenario that once produced stale data, flag values leaking into
+// application reads, lost stores, deadlock or livelock.
+
+// TestConcurrentUnlockedUpgrades hammers one block with read-then-write
+// sequences from every processor with no application locking. Release
+// consistency makes the final value unpredictable, but three invariants
+// must hold: no processor may ever read the invalid-flag bit pattern
+// through a checked load of a valid block; after the final barrier all
+// processors agree on the value; and the system quiesces.
+//
+// (Regression: a "late" invalidation — sent for an earlier write
+// transaction but arriving after a newer copy on a faster channel — used to
+// wipe fresh copies; directory sequence numbers now identify and ignore
+// stale invalidations.)
+func TestConcurrentUnlockedUpgrades(t *testing.T) {
+	for _, cl := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("C%d", cl), func(t *testing.T) {
+			s := testSystem(16, cl)
+			a := s.Alloc(64, 64)
+			var values [16]uint64
+			s.Run(func(p *Proc) {
+				p.Barrier()
+				for i := 0; i < 8; i++ {
+					v := p.LoadU64(a)
+					if uint32(v) == memory.FlagWord && uint32(v>>32) == memory.FlagWord {
+						t.Errorf("proc %d read the flag pattern through a checked load", p.ID())
+					}
+					p.StoreU64(a, v+1)
+					p.Compute(int64(37 * (p.ID() + 1)))
+				}
+				p.Barrier()
+				values[p.ID()] = p.LoadU64(a)
+				p.Barrier()
+			})
+			for q := 1; q < 16; q++ {
+				if values[q] != values[0] {
+					t.Fatalf("procs disagree after barrier: %v", values)
+				}
+			}
+			if err := s.CheckQuiescent(); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.CheckValueCoherence(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestUpgradeRaceLosesCleanly makes two processors on different nodes race
+// an upgrade for the same block from the shared state. Exactly one
+// upgrade wins; the loser's request is converted to a read-exclusive at the
+// home and must receive full data (regression: the loser used to be
+// granted over a flag-filled copy, or to serve forwards from its invalid
+// underlying data).
+func TestUpgradeRaceLosesCleanly(t *testing.T) {
+	s := testSystem(8, 4)
+	a := s.AllocPlaced(64, 64, 0)
+	s.Run(func(p *Proc) {
+		if p.ID() == 0 {
+			p.StoreF64(a, 1.0)
+			p.StoreF64(a+8, 2.0)
+		}
+		p.Barrier()
+		// Both nodes take shared copies.
+		_ = p.LoadF64(a)
+		p.Barrier()
+		// Concurrent upgrades from both nodes.
+		if p.ID() == 1 {
+			p.StoreF64(a, 10.0)
+		}
+		if p.ID() == 5 {
+			p.StoreF64(a+8, 20.0)
+		}
+		p.Barrier()
+		if got := p.LoadF64(a); got != 10.0 {
+			t.Errorf("proc %d: word 0 = %v, want 10", p.ID(), got)
+		}
+		if got := p.LoadF64(a + 8); got != 20.0 {
+			t.Errorf("proc %d: word 1 = %v, want 20", p.ID(), got)
+		}
+		p.Barrier()
+	})
+	if err := s.CheckValueCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOverlappingStoreBatches makes two processors on different nodes
+// repeatedly store-batch overlapping block sets (the Ocean boundary-row
+// pattern that once deadlocked full-message deferral and later livelocked
+// the re-check loop until staggered backoff was added). The test passes by
+// completing with correct per-word values.
+func TestOverlappingStoreBatches(t *testing.T) {
+	s := testSystem(8, 4)
+	// Three blocks; both writers' batches cover all three.
+	a := s.Alloc(192, 64)
+	const rounds = 6
+	s.Run(func(p *Proc) {
+		p.Barrier()
+		writer := p.ID() == 0 || p.ID() == 4
+		for r := 0; r < rounds; r++ {
+			if writer {
+				// Each writer owns alternate words of every block.
+				off := 0
+				if p.ID() == 4 {
+					off = 8
+				}
+				p.Batch([]BatchRef{{Base: a, Bytes: 192, Store: true}}, func(b *Batch) {
+					for w := 0; w < 12; w++ {
+						b.StoreU64(a+memory.Addr(w*16+off), uint64(r*100+w))
+					}
+				})
+			}
+			p.Barrier()
+			// Everyone validates both writers' words.
+			for w := 0; w < 12; w++ {
+				if got := p.LoadU64(a + memory.Addr(w*16)); got != uint64(r*100+w) {
+					t.Errorf("proc %d round %d: writer-0 word %d = %d", p.ID(), r, w, got)
+				}
+				if got := p.LoadU64(a + memory.Addr(w*16+8)); got != uint64(r*100+w) {
+					t.Errorf("proc %d round %d: writer-4 word %d = %d", p.ID(), r, w, got)
+				}
+			}
+			p.Barrier()
+		}
+	})
+	if err := s.CheckQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadersHammerStoreBatch runs one store-batching processor against
+// fifteen readers of the same block (the FMM box pattern that once
+// livelocked: readers kept downgrading the writer's exclusivity while its
+// acknowledgement-waiting entries blocked the miss table). The run must
+// complete, reads must never see flag data, and the final values must be
+// the writer's.
+func TestReadersHammerStoreBatch(t *testing.T) {
+	s := testSystem(16, 4)
+	a := s.AllocPlaced(256, 64, 0)
+	const rounds = 5
+	s.Run(func(p *Proc) {
+		p.Barrier()
+		for r := 0; r < rounds; r++ {
+			if p.ID() == 0 {
+				p.Batch([]BatchRef{{Base: a, Bytes: 256, Store: true}}, func(b *Batch) {
+					for w := 0; w < 32; w++ {
+						b.StoreU64(a+memory.Addr(w*8), uint64(r*1000+w))
+					}
+				})
+			} else {
+				// Concurrent unsynchronized readers: under release
+				// consistency they may see the previous round's values,
+				// but never the flag pattern.
+				for w := 0; w < 32; w += 5 {
+					v := p.LoadU64(a + memory.Addr(w*8))
+					if uint32(v) == memory.FlagWord && uint32(v>>32) == memory.FlagWord {
+						t.Errorf("proc %d read flag pattern at word %d", p.ID(), w)
+					}
+				}
+			}
+			p.Barrier()
+			if got := p.LoadU64(a + memory.Addr(8)); got != uint64(r*1000+1) {
+				t.Errorf("proc %d round %d: word 1 = %d, want %d", p.ID(), r, got, r*1000+1)
+			}
+			p.Barrier()
+		}
+	})
+}
+
+// TestBatchMarkerLifecycle checks that batch markers never leak or
+// underflow: a mix of hitting and missing batches must leave no markers
+// behind (regression: batchEnd once decremented markers that were never
+// placed, letting later deferrals corrupt flag fills).
+func TestBatchMarkerLifecycle(t *testing.T) {
+	s := testSystem(8, 4)
+	a := s.AllocPlaced(512, 64, 4)
+	s.Run(func(p *Proc) {
+		p.Barrier()
+		for i := 0; i < 6; i++ {
+			// Alternate hitting (local after first fetch) and missing
+			// batches over the same blocks.
+			p.Batch([]BatchRef{{Base: a, Bytes: 512}}, func(b *Batch) {
+				_ = b.LoadU64(a)
+			})
+			if p.ID()%4 == 0 {
+				p.Batch([]BatchRef{{Base: a, Bytes: 64, Store: true}}, func(b *Batch) {
+					b.StoreU64(a, uint64(i))
+				})
+			}
+			p.Barrier()
+		}
+	})
+	if err := s.CheckQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRandomProgramsMatchOracle generates random barrier-phased
+// programs (each phase, each processor writes one slot of its own bank,
+// then reads another processor's just-written slot) and checks every read,
+// across clusterings.
+func TestQuickRandomProgramsMatchOracle(t *testing.T) {
+	f := func(raw []uint8, clSel uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		nPhases := len(raw) / 8
+		if nPhases == 0 {
+			return true
+		}
+		if nPhases > 6 {
+			nPhases = 6
+		}
+		cl := []int{1, 2, 4}[int(clSel)%3]
+		s := testSystem(8, cl)
+		const slots = 16
+		a := s.Alloc(8*slots*64, 64)
+		at := func(proc, slot int) memory.Addr {
+			return a + memory.Addr((proc*slots+slot)*64)
+		}
+		ok := true
+		s.Run(func(p *Proc) {
+			p.Barrier()
+			for ph := 0; ph < nPhases; ph++ {
+				slot := int(raw[ph*8+p.ID()]) % slots
+				p.StoreU64(at(p.ID(), slot), uint64(ph*100+p.ID()))
+				p.Barrier()
+				src := (p.ID() + 1 + ph) % 8
+				sslot := int(raw[ph*8+src]) % slots
+				want := uint64(ph*100 + src)
+				if got := p.LoadU64(at(src, sslot)); got != want {
+					ok = false
+				}
+				p.Barrier()
+			}
+		})
+		if err := s.CheckQuiescent(); err != nil {
+			return false
+		}
+		if err := s.CheckValueCoherence(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStallAttributionCategories checks the execution-time breakdown picks
+// up each stall category.
+func TestStallAttributionCategories(t *testing.T) {
+	s := testSystem(8, 1)
+	a := s.AllocPlaced(64, 64, 0)
+	l := s.AllocLock()
+	s.Run(func(p *Proc) {
+		p.Barrier()
+		if p.ID() == 4 {
+			_ = p.LoadF64(a) // read stall (remote fetch)
+		}
+		p.LockAcquire(l) // sync stall for contenders
+		p.Compute(100)
+		p.LockRelease(l)
+		p.Barrier()
+	})
+	st := s.Stats()
+	if st.TimeBy(stats.Read) == 0 {
+		t.Error("no read stall recorded")
+	}
+	if st.TimeBy(stats.Sync) == 0 {
+		t.Error("no sync stall recorded")
+	}
+	if st.TimeBy(stats.Task) == 0 {
+		t.Error("no task time recorded")
+	}
+}

@@ -1,0 +1,99 @@
+package protocol
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/memory"
+)
+
+// TestNeighbourExchangeFreshness mimics Ocean's structure: each processor
+// owns a row of blocks, repeatedly writes a phase-stamped value into its
+// row (batched), and after a barrier reads its neighbours' rows (batched).
+// Every read must observe the value written in the current phase — a stale
+// value is a coherence violation, since barriers have release/acquire
+// semantics.
+func TestNeighbourExchangeFreshness(t *testing.T) {
+	for _, procs := range []int{8, 16} {
+		for _, cl := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("P%d-C%d", procs, cl), func(t *testing.T) {
+				const blocksPerRow = 4
+				const phases = 6
+				s := testSystem(procs, cl)
+				rowBytes := int64(blocksPerRow * 64)
+				rows := make([]memory.Addr, procs)
+				for i := range rows {
+					rows[i] = s.AllocPlaced(rowBytes, 64, i)
+				}
+				at := func(row, blk, word int) memory.Addr {
+					return rows[row] + memory.Addr(blk*64+word*8)
+				}
+				s.Run(func(p *Proc) {
+					id := p.ID()
+					left := (id + procs - 1) % procs
+					right := (id + 1) % procs
+					for ph := 1; ph <= phases; ph++ {
+						// Write own row.
+						p.Batch([]BatchRef{{Base: rows[id], Bytes: int(rowBytes), Store: true}},
+							func(b *Batch) {
+								for blk := 0; blk < blocksPerRow; blk++ {
+									for wd := 0; wd < 8; wd++ {
+										b.StoreU64(at(id, blk, wd), uint64(ph*1000+id))
+									}
+								}
+							})
+						p.Barrier()
+						// Read both neighbours' rows.
+						p.Batch([]BatchRef{
+							{Base: rows[left], Bytes: int(rowBytes)},
+							{Base: rows[right], Bytes: int(rowBytes)},
+						}, func(b *Batch) {
+							for blk := 0; blk < blocksPerRow; blk++ {
+								for wd := 0; wd < 8; wd++ {
+									if got := b.LoadU64(at(left, blk, wd)); got != uint64(ph*1000+left) {
+										t.Errorf("proc %d phase %d: left row blk %d wd %d = %d, want %d",
+											id, ph, blk, wd, got, ph*1000+left)
+									}
+									if got := b.LoadU64(at(right, blk, wd)); got != uint64(ph*1000+right) {
+										t.Errorf("proc %d phase %d: right row blk %d wd %d = %d, want %d",
+											id, ph, blk, wd, got, ph*1000+right)
+									}
+								}
+							}
+						})
+						p.Barrier()
+					}
+				})
+			})
+		}
+	}
+}
+
+// TestSingleAccessFreshness is the unbatched variant.
+func TestSingleAccessFreshness(t *testing.T) {
+	for _, cl := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("C%d", cl), func(t *testing.T) {
+			const phases = 6
+			procs := 8
+			s := testSystem(procs, cl)
+			slots := make([]memory.Addr, procs)
+			for i := range slots {
+				slots[i] = s.AllocPlaced(64, 64, i)
+			}
+			s.Run(func(p *Proc) {
+				id := p.ID()
+				for ph := 1; ph <= phases; ph++ {
+					p.StoreU64(slots[id], uint64(ph*100+id))
+					p.Barrier()
+					for q := 0; q < procs; q++ {
+						if got := p.LoadU64(slots[q]); got != uint64(ph*100+q) {
+							t.Errorf("proc %d phase %d: slot %d = %d, want %d",
+								id, ph, q, got, ph*100+q)
+						}
+					}
+					p.Barrier()
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,210 @@
+package protocol
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Application synchronization: message-based queue locks (each lock is
+// managed by a home processor) and a centralized barrier managed by
+// processor 0. The paper notes its SMP-Shasta lock and barrier primitives
+// were not yet tuned; these follow the same message-based design.
+//
+// Shasta implements eager release consistency: a processor stalls at a
+// release point until its previous requests have completed. SMP-Shasta
+// complicates this because other group processors may use data whose
+// invalidation acknowledgements are outstanding; the epoch-based solution
+// (Section 3.4.2) starts a new epoch at each release and waits only for
+// store misses issued in earlier epochs, which also guarantees the wait
+// terminates while other group members keep issuing stores.
+
+// syncCost returns handler occupancy for sync messages: cheap in hardware
+// mode (the ANL-macro comparison) and on a single processor, where lock and
+// barrier operations are uncontended local bookkeeping — the Table 1
+// checking-overhead measurement must not be polluted by multiprocessor
+// synchronization costs.
+func (p *Proc) syncCost() int64 {
+	if p.sys.cfg.Hardware || p.sys.cfg.NumProcs == 1 {
+		return p.sys.cfg.Costs.HWLock
+	}
+	return p.sys.cfg.Costs.SyncHandler
+}
+
+// releaseStores performs the release-side wait: all store misses of this
+// processor's group issued in earlier epochs must complete. Waiting is
+// attributed to write time, matching the paper's breakdown.
+func (p *Proc) releaseStores() {
+	if p.sys.cfg.Hardware {
+		return
+	}
+	g := p.grp
+	myEpoch := g.epoch
+	g.epoch++
+	qualifies := func(e *missEntry) bool {
+		return e.hasStores && !e.complete && e.epoch <= myEpoch
+	}
+	clear := func() bool {
+		for _, e := range g.miss {
+			if qualifies(e) {
+				return false
+			}
+		}
+		for _, lst := range g.detached {
+			for _, e := range lst {
+				if qualifies(e) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if clear() {
+		return
+	}
+	register := func(e *missEntry) {
+		if e.waiters == nil {
+			e.waiters = make(map[int]bool)
+		}
+		e.waiters[p.id] = true
+	}
+	for _, e := range g.miss {
+		if qualifies(e) {
+			register(e)
+		}
+	}
+	for _, lst := range g.detached {
+		for _, e := range lst {
+			if qualifies(e) {
+				register(e)
+			}
+		}
+	}
+	p.stallUntil(stats.Write, "release", clear)
+}
+
+// LockAcquire acquires application lock id, stalling in sync time until the
+// lock manager grants it.
+func (p *Proc) LockAcquire(id int) {
+	p.poll()
+	home := p.sys.lockHome(id)
+	p.send(home, &pmsg{kind: mLockReq, baseLine: -1, id: id, requester: p.id}, stats.Sync)
+	p.stallUntil(stats.Sync, fmt.Sprintf("lock-%d", id), func() bool {
+		return p.lockGranted[id]
+	})
+	p.lockGranted[id] = false
+}
+
+// LockRelease releases application lock id, first performing the
+// release-consistency store wait.
+func (p *Proc) LockRelease(id int) {
+	p.poll()
+	p.releaseStores()
+	home := p.sys.lockHome(id)
+	p.send(home, &pmsg{kind: mLockRel, baseLine: -1, id: id, requester: p.id}, stats.Sync)
+}
+
+// Barrier synchronizes all processors. Arrival has release semantics.
+//
+// With the FastSync extension the barrier is hierarchical: group members
+// synchronize through a shared-memory arrival counter, only the last
+// arriver of each group exchanges messages with the barrier manager, and
+// the group's representative releases its members through shared memory —
+// the paper's planned SMP-aware synchronization.
+func (p *Proc) Barrier() {
+	p.poll()
+	p.releaseStores()
+	gen := p.barGen
+	if p.sys.cfg.FastSync && p.sys.cfg.SMP() && !p.sys.cfg.Hardware {
+		g := p.grp
+		p.charge(stats.Sync, p.sys.cfg.Costs.HWBarrierPerProc)
+		g.fsArrived++
+		if g.fsArrived == len(g.members) {
+			g.fsArrived = 0
+			p.send(0, &pmsg{kind: mBarArrive, baseLine: -1, requester: p.id}, stats.Sync)
+		}
+		p.stallUntil(stats.Sync, "barrier", func() bool { return p.barGen > gen })
+		return
+	}
+	p.send(0, &pmsg{kind: mBarArrive, baseLine: -1, requester: p.id}, stats.Sync)
+	p.stallUntil(stats.Sync, "barrier", func() bool { return p.barGen > gen })
+}
+
+// handleSync processes lock and barrier messages.
+func (p *Proc) handleSync(m *pmsg) {
+	p.charge(stats.Message, p.syncCost())
+	switch m.kind {
+	case mLockReq:
+		q := p.lockQueues[m.id]
+		if !p.lockHeld[m.id] && len(q) == 0 {
+			p.lockHeld[m.id] = true
+			p.lockQueues[m.id] = []int{m.requester}
+			p.send(m.requester, &pmsg{kind: mLockGrant, baseLine: -1, id: m.id}, stats.Message)
+			return
+		}
+		p.lockQueues[m.id] = append(q, m.requester)
+
+	case mLockRel:
+		q := p.lockQueues[m.id]
+		if len(q) == 0 || q[0] != m.requester {
+			panic(fmt.Sprintf("protocol: lock %d released by %d which does not hold it", m.id, m.requester))
+		}
+		q = q[1:]
+		p.lockQueues[m.id] = q
+		if len(q) > 0 {
+			p.send(q[0], &pmsg{kind: mLockGrant, baseLine: -1, id: m.id}, stats.Message)
+		} else {
+			p.lockHeld[m.id] = false
+		}
+
+	case mLockGrant:
+		p.lockGranted[m.id] = true
+
+	case mBarArrive:
+		p.barCount++
+		if p.barCount == p.sys.barrierArrivals() {
+			p.barCount = 0
+			if p.sys.fastSyncBarrier() {
+				// Release one representative per group; it releases its
+				// group members through shared memory.
+				for _, g := range p.sys.groups {
+					p.send(g.members[0], &pmsg{kind: mBarGo, baseLine: -1}, stats.Message)
+				}
+				return
+			}
+			for q := 0; q < p.sys.cfg.NumProcs; q++ {
+				if q == p.id {
+					continue
+				}
+				p.send(q, &pmsg{kind: mBarGo, baseLine: -1}, stats.Message)
+			}
+			p.barGen++ // the manager's own arrival completes locally
+		}
+
+	case mBarGo:
+		if p.sys.fastSyncBarrier() {
+			for _, mem := range p.grp.members {
+				p.sys.procs[mem].barGen++
+				p.wake(mem)
+			}
+			return
+		}
+		p.barGen++
+	}
+}
+
+// ResetStats zeroes the statistics and marks the start of the measured
+// parallel phase. Call it from exactly one processor immediately after a
+// barrier, per standard SPLASH-2 methodology.
+func (p *Proc) ResetStats() {
+	p.sys.stats.Reset()
+	p.sys.startTime = p.sp.Now()
+	p.sys.endTime = 0
+}
+
+// EndMeasured marks the end of the measured parallel phase, so verification
+// code that runs afterwards is excluded from the reported parallel time.
+// Call it from exactly one processor immediately after a barrier.
+func (p *Proc) EndMeasured() {
+	p.sys.endTime = p.sp.Now()
+}

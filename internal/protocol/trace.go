@@ -1,0 +1,117 @@
+package protocol
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/memory"
+)
+
+// TraceEvent is one protocol-level event, emitted to a Tracer attached to
+// the System. Tracing is intended for debugging coherence behaviour and for
+// teaching: a filtered trace of a single block reads like the protocol
+// walkthroughs in the paper (request, forward, downgrade messages, reply).
+type TraceEvent struct {
+	// Time is the emitting processor's virtual clock in cycles.
+	Time int64
+	// Proc is the emitting processor.
+	Proc int
+	// Op names the event: "send", "handle", "miss", "downgrade",
+	// "install", "invalidate".
+	Op string
+	// Msg is the protocol message kind for send/handle events.
+	Msg string
+	// BaseLine identifies the block, -1 for non-block events.
+	BaseLine int
+	// Detail is free-form context (states, sequence numbers, targets).
+	Detail string
+}
+
+// String renders the event as one line.
+func (e TraceEvent) String() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("@%-10d p%-2d %-10s %-18s blk%-5d %s",
+			e.Time, e.Proc, e.Op, e.Msg, e.BaseLine, e.Detail)
+	}
+	return fmt.Sprintf("@%-10d p%-2d %-10s %-18s blk%-5d %s",
+		e.Time, e.Proc, e.Op, "-", e.BaseLine, e.Detail)
+}
+
+// Tracer receives protocol events. Implementations must be fast; they run
+// inline with the simulation.
+type Tracer interface {
+	Event(TraceEvent)
+}
+
+// TracerFunc adapts a function to the Tracer interface.
+type TracerFunc func(TraceEvent)
+
+// Event implements Tracer.
+func (f TracerFunc) Event(e TraceEvent) { f(e) }
+
+// WriterTracer streams formatted events to w, optionally filtered to a set
+// of block base lines.
+type WriterTracer struct {
+	W io.Writer
+	// Blocks filters events to these base lines; empty means all.
+	Blocks map[int]bool
+}
+
+// Event implements Tracer.
+func (t *WriterTracer) Event(e TraceEvent) {
+	if len(t.Blocks) > 0 && !t.Blocks[e.BaseLine] {
+		return
+	}
+	fmt.Fprintln(t.W, e.String())
+}
+
+// CollectorTracer appends events to memory for programmatic inspection.
+type CollectorTracer struct {
+	Events []TraceEvent
+	// Limit caps collection; 0 means unlimited.
+	Limit int
+}
+
+// Event implements Tracer.
+func (t *CollectorTracer) Event(e TraceEvent) {
+	if t.Limit > 0 && len(t.Events) >= t.Limit {
+		return
+	}
+	t.Events = append(t.Events, e)
+}
+
+// SetTracer attaches a tracer to the system (nil detaches). Call before
+// Run.
+func (s *System) SetTracer(tr Tracer) { s.tracer = tr }
+
+// trace emits an event if a tracer is attached.
+func (p *Proc) trace(op, msg string, base int, format string, args ...any) {
+	tr := p.sys.tracer
+	if tr == nil {
+		return
+	}
+	tr.Event(TraceEvent{
+		Time:     p.sp.Now(),
+		Proc:     p.id,
+		Op:       op,
+		Msg:      msg,
+		BaseLine: base,
+		Detail:   fmt.Sprintf(format, args...),
+	})
+}
+
+// traceState summarizes a block's local protocol state for trace details.
+func (p *Proc) traceState(base int) string {
+	st := p.grp.img.State(base)
+	priv := memory.State(0)
+	if p.priv != nil {
+		priv = p.priv.Get(base)
+	}
+	e := p.grp.miss[base]
+	es := "-"
+	if e != nil && !e.complete {
+		es = fmt.Sprintf("%v(da=%v,eg=%v,acks=%d/%d)",
+			e.kind, e.dataArrived, e.exclGranted, e.acksReceived, e.acksExpected)
+	}
+	return fmt.Sprintf("state=%v priv=%v seq=%d entry=%s", st, priv, p.grp.copySeq[base], es)
+}

@@ -1,0 +1,88 @@
+package protocol
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/memory"
+)
+
+// Addr8 offsets an address by i 8-byte words.
+func Addr8(i int) memory.Addr { return memory.Addr(i * 8) }
+
+func TestCollectorTracer(t *testing.T) {
+	s := testSystem(8, 4)
+	a := s.AllocPlaced(64, 64, 0)
+	col := &CollectorTracer{}
+	s.SetTracer(col)
+	s.Run(func(p *Proc) {
+		p.Barrier()
+		if p.ID() == 4 {
+			_ = p.LoadF64(a) // one remote read miss
+		}
+		p.Barrier()
+	})
+	var sawMiss, sawReq, sawReply bool
+	for _, e := range col.Events {
+		switch {
+		case e.Op == "miss":
+			sawMiss = true
+		case e.Op == "send" && e.Msg == "ReadReq":
+			sawReq = true
+		case e.Op == "handle" && e.Msg == "DataReply":
+			sawReply = true
+		}
+	}
+	if !sawMiss || !sawReq || !sawReply {
+		t.Fatalf("trace incomplete: miss=%v req=%v reply=%v (%d events)",
+			sawMiss, sawReq, sawReply, len(col.Events))
+	}
+	// Events are time-ordered per processor.
+	last := map[int]int64{}
+	for _, e := range col.Events {
+		if e.Time < last[e.Proc] {
+			t.Fatalf("events out of order for proc %d", e.Proc)
+		}
+		last[e.Proc] = e.Time
+	}
+}
+
+func TestCollectorTracerLimit(t *testing.T) {
+	s := testSystem(4, 4)
+	a := s.Alloc(1024, 64)
+	col := &CollectorTracer{Limit: 5}
+	s.SetTracer(col)
+	s.Run(func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.StoreU64(a+Addr8(i), uint64(i))
+		}
+		p.Barrier()
+	})
+	if len(col.Events) > 5 {
+		t.Fatalf("limit ignored: %d events", len(col.Events))
+	}
+}
+
+func TestWriterTracerFilters(t *testing.T) {
+	s := testSystem(8, 4)
+	a := s.AllocPlaced(64, 64, 0) // block 0
+	b := s.AllocPlaced(64, 64, 4) // separate page/block
+	var buf bytes.Buffer
+	s.SetTracer(&WriterTracer{W: &buf, Blocks: map[int]bool{0: true}})
+	s.Run(func(p *Proc) {
+		p.Barrier()
+		if p.ID() == 4 {
+			_ = p.LoadF64(a)
+			_ = p.LoadF64(b)
+		}
+		p.Barrier()
+	})
+	out := buf.String()
+	if !strings.Contains(out, "blk0") {
+		t.Fatal("filtered trace missing block 0 events")
+	}
+	if strings.Contains(out, "ReadReq") && strings.Contains(out, "blk64") {
+		t.Fatal("filter leaked other blocks")
+	}
+}

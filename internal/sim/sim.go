@@ -1,0 +1,383 @@
+// Package sim implements a deterministic discrete-event simulation engine
+// for a cluster of processors.
+//
+// Each simulated processor runs its program on its own goroutine, but the
+// engine enforces strictly cooperative execution: exactly one processor
+// context executes at any instant, and the scheduler always resumes the
+// runnable processor with the smallest virtual time (ties broken by
+// processor ID). Processors advance their own virtual clocks explicitly and
+// exchange timestamped messages; a message sent at time t with latency d is
+// visible to the destination no earlier than t+d. The same program and
+// configuration therefore always produce the same event order, the same
+// protocol statistics and the same virtual execution times.
+//
+// The engine is the substitute for the paper's physical cluster of four
+// AlphaServer 4100s: virtual clocks play the role of the 300 MHz 21164
+// processors and message latencies are supplied by a pluggable network
+// model (see package memchan).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"runtime/debug"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Message is a timestamped payload in flight between two processors.
+type Message struct {
+	Src     int   // sending processor ID
+	Dst     int   // receiving processor ID
+	Arrival int64 // earliest cycle at which the destination may observe it
+	seq     uint64
+	Payload any
+}
+
+type procState int
+
+const (
+	stateReady procState = iota
+	stateRunning
+	stateBlocked // waiting for a message
+	stateDone
+)
+
+type yieldKind int
+
+const (
+	yieldReady yieldKind = iota
+	yieldBlocked
+	yieldDone
+)
+
+// Proc is one simulated processor context. All methods must be called only
+// from the processor's own body function (the engine enforces cooperative
+// single ownership).
+type Proc struct {
+	// ID is the processor's index in [0, NumProcs).
+	ID int
+
+	// Stats receives the processor's time attribution; it may be nil, in
+	// which case time is tracked but not attributed to categories.
+	Stats *stats.Proc
+
+	eng     *Engine
+	now     int64
+	horizon int64
+	state   procState
+	inbox   msgHeap
+	resume  chan struct{}
+	yielded chan yieldKind
+	body    func(*Proc)
+	// blockedAt records where a processor blocked, for deadlock reports.
+	blockedAt string
+}
+
+// Now returns the processor's current virtual time in cycles.
+func (p *Proc) Now() int64 { return p.now }
+
+// Advance moves the processor's clock forward by cycles and attributes the
+// time to the given breakdown category. It may transfer control to another
+// processor whose virtual time is now smaller.
+func (p *Proc) Advance(c stats.TimeCategory, cycles int64) {
+	if cycles < 0 {
+		panic(fmt.Sprintf("sim: proc %d advanced by negative cycles %d", p.ID, cycles))
+	}
+	p.now += cycles
+	if p.Stats != nil {
+		p.Stats.AddTime(c, cycles)
+	}
+	if p.now > p.horizon {
+		p.doYield(yieldReady)
+	}
+}
+
+// AdvanceTo moves the clock to an absolute time (no-op if already past it),
+// attributing the waited interval to the category.
+func (p *Proc) AdvanceTo(c stats.TimeCategory, t int64) {
+	if t > p.now {
+		p.Advance(c, t-p.now)
+	}
+}
+
+// Yield gives other processors with smaller or equal virtual times a chance
+// to run. Programs rarely need it; Advance and the receive calls yield on
+// their own.
+func (p *Proc) Yield() { p.doYield(yieldReady) }
+
+// Send delivers payload to processor dst with the given latency in cycles.
+// The destination can observe the message once its own clock reaches the
+// arrival time.
+func (p *Proc) Send(dst int, latency int64, payload any) {
+	if latency < 0 {
+		panic(fmt.Sprintf("sim: proc %d sent with negative latency %d", p.ID, latency))
+	}
+	arrival := p.now + latency
+	p.eng.deliver(Message{Src: p.ID, Dst: dst, Arrival: arrival, Payload: payload})
+	// The destination may now need to run before this processor's next
+	// scheduling point; shrink the horizon so we hand control back in
+	// time.
+	if arrival < p.horizon {
+		p.horizon = arrival
+	}
+}
+
+// SendAt is like Send but schedules arrival at an absolute time, which must
+// not precede the current time.
+func (p *Proc) SendAt(dst int, arrival int64, payload any) {
+	if arrival < p.now {
+		panic(fmt.Sprintf("sim: proc %d scheduled arrival %d before now %d", p.ID, arrival, p.now))
+	}
+	p.eng.deliver(Message{Src: p.ID, Dst: dst, Arrival: arrival, Payload: payload})
+	if arrival < p.horizon {
+		p.horizon = arrival
+	}
+}
+
+// TryRecv returns the earliest message whose arrival time has been reached,
+// if any. It does not advance the clock.
+func (p *Proc) TryRecv() (Message, bool) {
+	if len(p.inbox) > 0 && p.inbox[0].Arrival <= p.now {
+		return heap.Pop(&p.inbox).(Message), true
+	}
+	return Message{}, false
+}
+
+// PendingArrival reports the arrival time of the earliest queued message,
+// delivered or not.
+func (p *Proc) PendingArrival() (int64, bool) {
+	if len(p.inbox) == 0 {
+		return 0, false
+	}
+	return p.inbox[0].Arrival, true
+}
+
+// WaitRecv blocks until a message is available, advances the clock to its
+// arrival time if needed (attributing the waited time to category c), and
+// returns it. A message sent later by another processor with an earlier
+// arrival time correctly shortens the wait: the processor is woken at the
+// earliest arrival across its whole inbox.
+func (p *Proc) WaitRecv(c stats.TimeCategory, where string) Message {
+	for {
+		if len(p.inbox) > 0 && p.inbox[0].Arrival <= p.now {
+			return heap.Pop(&p.inbox).(Message)
+		}
+		p.blockedAt = where
+		prev := p.now
+		p.doYield(yieldBlocked)
+		// The scheduler resumed us at the earliest pending arrival;
+		// attribute the waited interval to the caller's category.
+		if p.Stats != nil && p.now > prev {
+			p.Stats.AddTime(c, p.now-prev)
+		}
+	}
+}
+
+// doYield transfers control to the scheduler.
+func (p *Proc) doYield(k yieldKind) {
+	p.yielded <- k
+	<-p.resume
+}
+
+// Engine owns the processors and runs the cooperative schedule.
+type Engine struct {
+	procs []*Proc
+	seq   uint64
+}
+
+// NewEngine creates an engine with n processor contexts. Statistics
+// attribution can be attached per processor via Proc.Stats before Run.
+func NewEngine(n int) *Engine {
+	e := &Engine{procs: make([]*Proc, n)}
+	for i := range e.procs {
+		e.procs[i] = &Proc{
+			ID:      i,
+			eng:     e,
+			resume:  make(chan struct{}),
+			yielded: make(chan yieldKind),
+		}
+	}
+	return e
+}
+
+// NumProcs returns the number of processor contexts.
+func (e *Engine) NumProcs() int { return len(e.procs) }
+
+// Proc returns processor i's context (for wiring Stats before Run).
+func (e *Engine) Proc(i int) *Proc { return e.procs[i] }
+
+func (e *Engine) deliver(m Message) {
+	e.seq++
+	m.seq = e.seq
+	dst := e.procs[m.Dst]
+	heap.Push(&dst.inbox, m)
+}
+
+type procPanic struct {
+	id    int
+	val   any
+	stack []byte
+}
+
+// Run executes body on every processor until all complete, and returns the
+// maximum finish time in cycles. It panics with a diagnostic if the system
+// deadlocks (all processors blocked with no messages in flight) or if any
+// processor's body panics.
+func (e *Engine) Run(body func(*Proc)) int64 {
+	panicCh := make(chan procPanic, len(e.procs))
+	for _, p := range e.procs {
+		p.body = body
+		p.state = stateReady
+		p.now = 0
+		p.horizon = 0
+		p.inbox = nil
+		go func(p *Proc) {
+			defer func() {
+				if r := recover(); r != nil {
+					panicCh <- procPanic{p.ID, r, debug.Stack()}
+					// Unblock the scheduler, which is waiting on
+					// p.yielded.
+					p.yielded <- yieldDone
+				}
+			}()
+			<-p.resume
+			p.body(p)
+			// Terminal yield: signal completion and let the goroutine
+			// exit (waiting for a resume that never comes would leak the
+			// goroutine and pin the whole engine in memory).
+			p.yielded <- yieldDone
+		}(p)
+	}
+
+	var maxFinish int64
+	remaining := len(e.procs)
+	for remaining > 0 {
+		next := e.pickNext()
+		if next == nil {
+			panic("sim: deadlock\n" + e.dump())
+		}
+		// Wake a blocked processor at its earliest message arrival.
+		// The interval is attributed inside WaitRecv, which knows the
+		// stall category.
+		if next.state == stateBlocked {
+			if a, ok := next.PendingArrival(); ok && a > next.now {
+				next.now = a
+			}
+		}
+		next.state = stateRunning
+		next.horizon = e.horizonFor(next)
+		next.resume <- struct{}{}
+		k := <-next.yielded
+		select {
+		case pp := <-panicCh:
+			panic(fmt.Sprintf("sim: processor %d panicked: %v\n%s\noriginal stack:\n%s",
+				pp.id, pp.val, e.dump(), pp.stack))
+		default:
+		}
+		switch k {
+		case yieldReady:
+			next.state = stateReady
+		case yieldBlocked:
+			next.state = stateBlocked
+		case yieldDone:
+			next.state = stateDone
+			remaining--
+			if next.now > maxFinish {
+				maxFinish = next.now
+			}
+		}
+	}
+	return maxFinish
+}
+
+// nextTime returns the earliest virtual time at which p could run, or
+// (0,false) if p cannot run until someone sends it a message.
+func (e *Engine) nextTime(p *Proc) (int64, bool) {
+	switch p.state {
+	case stateReady:
+		return p.now, true
+	case stateBlocked:
+		if a, ok := p.PendingArrival(); ok {
+			if a < p.now {
+				a = p.now
+			}
+			return a, true
+		}
+		return 0, false
+	default:
+		return 0, false
+	}
+}
+
+func (e *Engine) pickNext() *Proc {
+	var best *Proc
+	var bestT int64 = math.MaxInt64
+	for _, p := range e.procs {
+		if t, ok := e.nextTime(p); ok && t < bestT {
+			best, bestT = p, t
+		}
+	}
+	return best
+}
+
+// horizonFor computes how far p may run before control must return to the
+// scheduler: the earliest next-run time among all other processors.
+func (e *Engine) horizonFor(p *Proc) int64 {
+	var h int64 = math.MaxInt64
+	for _, q := range e.procs {
+		if q == p {
+			continue
+		}
+		if t, ok := e.nextTime(q); ok && t < h {
+			h = t
+		}
+	}
+	return h
+}
+
+// dump renders the engine state for deadlock and panic diagnostics.
+func (e *Engine) dump() string {
+	var b strings.Builder
+	ids := make([]int, len(e.procs))
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Ints(ids)
+	for _, i := range ids {
+		p := e.procs[i]
+		st := map[procState]string{
+			stateReady: "ready", stateRunning: "running",
+			stateBlocked: "blocked", stateDone: "done",
+		}[p.state]
+		fmt.Fprintf(&b, "  proc %2d: %-7s now=%d inbox=%d", i, st, p.now, len(p.inbox))
+		if p.state == stateBlocked {
+			fmt.Fprintf(&b, " at %q", p.blockedAt)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// msgHeap orders messages by (arrival, seq) so delivery is deterministic.
+type msgHeap []Message
+
+func (h msgHeap) Len() int { return len(h) }
+func (h msgHeap) Less(i, j int) bool {
+	if h[i].Arrival != h[j].Arrival {
+		return h[i].Arrival < h[j].Arrival
+	}
+	return h[i].seq < h[j].seq
+}
+func (h msgHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *msgHeap) Push(x any)   { *h = append(*h, x.(Message)) }
+func (h *msgHeap) Pop() any {
+	old := *h
+	n := len(old)
+	m := old[n-1]
+	*h = old[:n-1]
+	return m
+}

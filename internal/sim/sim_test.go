@@ -1,0 +1,319 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestSingleProcAdvance(t *testing.T) {
+	e := NewEngine(1)
+	finish := e.Run(func(p *Proc) {
+		p.Advance(stats.Task, 100)
+		p.Advance(stats.Task, 50)
+	})
+	if finish != 150 {
+		t.Fatalf("finish = %d, want 150", finish)
+	}
+}
+
+func TestAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative advance")
+		}
+	}()
+	e := NewEngine(1)
+	e.Run(func(p *Proc) { p.Advance(stats.Task, -1) })
+}
+
+func TestMessageLatency(t *testing.T) {
+	e := NewEngine(2)
+	var recvAt int64
+	e.Run(func(p *Proc) {
+		switch p.ID {
+		case 0:
+			p.Advance(stats.Task, 10)
+			p.Send(1, 25, "ping")
+		case 1:
+			m := p.WaitRecv(stats.Read, "test")
+			recvAt = p.Now()
+			if m.Payload.(string) != "ping" {
+				t.Errorf("payload = %v", m.Payload)
+			}
+		}
+	})
+	if recvAt != 35 {
+		t.Fatalf("received at %d, want 35 (send 10 + latency 25)", recvAt)
+	}
+}
+
+func TestMinTimeSchedulingIsDeterministic(t *testing.T) {
+	// Three processors append their IDs on each of several steps with
+	// distinct advance amounts; the interleaving must follow virtual
+	// time exactly, every run.
+	run := func() []int {
+		e := NewEngine(3)
+		var order []int
+		steps := map[int][]int64{0: {5, 9, 30}, 1: {7, 7, 7}, 2: {1, 1, 100}}
+		e.Run(func(p *Proc) {
+			for _, c := range steps[p.ID] {
+				p.Advance(stats.Task, c)
+				order = append(order, p.ID)
+			}
+		})
+		return order
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		got := run()
+		if len(got) != len(first) {
+			t.Fatalf("run %d: length %d != %d", i, len(got), len(first))
+		}
+		for j := range got {
+			if got[j] != first[j] {
+				t.Fatalf("run %d: order differs at %d: %v vs %v", i, j, got, first)
+			}
+		}
+	}
+}
+
+func TestSchedulerOrdersByVirtualTime(t *testing.T) {
+	// Proc 1 does a tiny step and must run before proc 0's second step
+	// even though proc 0 was started first.
+	e := NewEngine(2)
+	var order []struct {
+		id int
+		at int64
+	}
+	e.Run(func(p *Proc) {
+		if p.ID == 0 {
+			p.Advance(stats.Task, 100)
+			order = append(order, struct {
+				id int
+				at int64
+			}{0, p.Now()})
+		} else {
+			p.Advance(stats.Task, 1)
+			order = append(order, struct {
+				id int
+				at int64
+			}{1, p.Now()})
+		}
+	})
+	if order[0].id != 1 || order[0].at != 1 {
+		t.Fatalf("order = %+v, want proc 1 at time 1 first", order)
+	}
+}
+
+func TestWaitRecvStallAttribution(t *testing.T) {
+	e := NewEngine(2)
+	st := stats.NewRun(2)
+	for i := 0; i < 2; i++ {
+		e.Proc(i).Stats = &st.Procs[i]
+	}
+	e.Run(func(p *Proc) {
+		if p.ID == 0 {
+			p.Advance(stats.Task, 500)
+			p.Send(1, 100, "data")
+		} else {
+			p.WaitRecv(stats.Read, "stall")
+		}
+	})
+	if got := st.Procs[1].TimeBy[stats.Read]; got != 600 {
+		t.Fatalf("proc 1 read stall = %d, want 600", got)
+	}
+}
+
+func TestEarlierMessageShortensWait(t *testing.T) {
+	// Proc 2 blocks; proc 0 sends a message arriving at t=1000, then
+	// proc 1 sends one arriving at t=200. Proc 2 must wake at 200 and
+	// see proc 1's message first.
+	e := NewEngine(3)
+	var firstSrc int
+	var wake int64
+	e.Run(func(p *Proc) {
+		switch p.ID {
+		case 0:
+			p.Send(2, 1000, "slow")
+		case 1:
+			p.Advance(stats.Task, 100)
+			p.Send(2, 100, "fast")
+		case 2:
+			m := p.WaitRecv(stats.Read, "test")
+			firstSrc, wake = m.Src, p.Now()
+		}
+	})
+	if firstSrc != 1 || wake != 200 {
+		t.Fatalf("first message from %d at %d, want from 1 at 200", firstSrc, wake)
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	// Two messages arriving at the same instant are delivered in send
+	// order.
+	e := NewEngine(2)
+	var got []string
+	e.Run(func(p *Proc) {
+		if p.ID == 0 {
+			p.Send(1, 50, "a")
+			p.Send(1, 50, "b")
+		} else {
+			got = append(got, p.WaitRecv(stats.Read, "t").Payload.(string))
+			got = append(got, p.WaitRecv(stats.Read, "t").Payload.(string))
+		}
+	})
+	if got[0] != "a" || got[1] != "b" {
+		t.Fatalf("delivery order = %v, want [a b]", got)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected deadlock panic")
+		}
+	}()
+	e := NewEngine(2)
+	e.Run(func(p *Proc) {
+		p.WaitRecv(stats.Read, "forever") // nobody ever sends
+	})
+}
+
+func TestBodyPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected body panic to propagate")
+		}
+	}()
+	e := NewEngine(2)
+	e.Run(func(p *Proc) {
+		if p.ID == 1 {
+			panic("boom")
+		}
+		p.Advance(stats.Task, 10)
+	})
+}
+
+func TestSelfSend(t *testing.T) {
+	e := NewEngine(1)
+	var at int64
+	e.Run(func(p *Proc) {
+		p.Send(0, 77, "timer")
+		p.WaitRecv(stats.Other, "timer")
+		at = p.Now()
+	})
+	if at != 77 {
+		t.Fatalf("self-send woke at %d, want 77", at)
+	}
+}
+
+func TestTryRecvDoesNotAdvance(t *testing.T) {
+	e := NewEngine(2)
+	e.Run(func(p *Proc) {
+		if p.ID == 0 {
+			p.Send(1, 500, "later")
+			p.Advance(stats.Task, 1000)
+		} else {
+			if _, ok := p.TryRecv(); ok {
+				t.Error("TryRecv returned an undelivered message")
+			}
+			p.Advance(stats.Task, 600)
+			if _, ok := p.TryRecv(); !ok {
+				t.Error("TryRecv missed a delivered message")
+			}
+		}
+	})
+}
+
+func TestPendingArrival(t *testing.T) {
+	e := NewEngine(2)
+	e.Run(func(p *Proc) {
+		if p.ID == 0 {
+			p.Send(1, 40, 1)
+		} else {
+			p.Advance(stats.Task, 1)
+			if a, ok := p.PendingArrival(); !ok || a != 40 {
+				t.Errorf("PendingArrival = %d,%v want 40,true", a, ok)
+			}
+		}
+	})
+}
+
+// Property: for any set of per-processor advance schedules, the global
+// completion time equals the maximum per-processor sum, and every
+// processor's local clock is monotonic.
+func TestQuickCompletionTime(t *testing.T) {
+	f := func(raw [][]uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 8 {
+			raw = raw[:8]
+		}
+		e := NewEngine(len(raw))
+		want := int64(0)
+		for _, steps := range raw {
+			var sum int64
+			for _, s := range steps {
+				sum += int64(s % 1000)
+			}
+			if sum > want {
+				want = sum
+			}
+		}
+		monotonic := true
+		finish := e.Run(func(p *Proc) {
+			last := int64(0)
+			for _, s := range raw[p.ID] {
+				p.Advance(stats.Task, int64(s%1000))
+				if p.Now() < last {
+					monotonic = false
+				}
+				last = p.Now()
+			}
+		})
+		return finish == want && monotonic
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: messages between two processors with random latencies are
+// always received at send time + latency (when the receiver is idle), and
+// in nondecreasing arrival order.
+func TestQuickMessageDelivery(t *testing.T) {
+	f := func(lat []uint16) bool {
+		if len(lat) == 0 {
+			return true
+		}
+		if len(lat) > 64 {
+			lat = lat[:64]
+		}
+		e := NewEngine(2)
+		ok := true
+		e.Run(func(p *Proc) {
+			if p.ID == 0 {
+				for _, l := range lat {
+					p.Send(1, int64(l), int64(l))
+					p.Advance(stats.Task, 1)
+				}
+			} else {
+				lastArrival := int64(-1)
+				for range lat {
+					m := p.WaitRecv(stats.Read, "q")
+					if m.Arrival < lastArrival || p.Now() < m.Arrival {
+						ok = false
+					}
+					lastArrival = m.Arrival
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

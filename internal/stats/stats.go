@@ -1,0 +1,375 @@
+// Package stats collects the counters and time breakdowns reported in the
+// evaluation of the SMP-Shasta paper: shared-miss counts classified by
+// request type and hop count (Figure 6), protocol message counts classified
+// as remote / local / downgrade (Figure 7), the distribution of downgrade
+// messages sent per block downgrade (Figure 8), and per-processor execution
+// time breakdowns (Figures 4 and 5).
+//
+// All times are in processor cycles; the simulator runs virtual 300 MHz
+// clocks, so 300 cycles equal one microsecond.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TimeCategory labels one component of the execution-time breakdown used in
+// Figures 4 and 5 of the paper.
+type TimeCategory int
+
+// The breakdown categories, in the order the paper stacks them.
+const (
+	// Task is time spent executing application code, including inline
+	// miss checks and the cost of entering the protocol.
+	Task TimeCategory = iota
+	// Read is stall time for read misses satisfied by the software
+	// protocol.
+	Read
+	// Write is stall time attributable to stores (outstanding-store
+	// limits and waiting for store completions at releases).
+	Write
+	// Sync is stall time for application locks and barriers.
+	Sync
+	// Message is time spent handling protocol messages while not
+	// already stalled.
+	Message
+	// Other covers non-blocking-store bookkeeping, private state table
+	// upgrades and pending-downgrade handling.
+	Other
+
+	// NumTimeCategories is the number of breakdown categories.
+	NumTimeCategories
+)
+
+// String returns the paper's label for the category.
+func (c TimeCategory) String() string {
+	switch c {
+	case Task:
+		return "task"
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Sync:
+		return "sync"
+	case Message:
+		return "message"
+	case Other:
+		return "other"
+	default:
+		return fmt.Sprintf("TimeCategory(%d)", int(c))
+	}
+}
+
+// MissKind classifies a shared miss by the protocol request it generated,
+// matching the request types of the Shasta protocol.
+type MissKind int
+
+// The three request types of the protocol.
+const (
+	ReadMiss MissKind = iota
+	WriteMiss
+	UpgradeMiss
+
+	// NumMissKinds is the number of miss classifications.
+	NumMissKinds
+)
+
+// String returns a short label for the miss kind.
+func (k MissKind) String() string {
+	switch k {
+	case ReadMiss:
+		return "read"
+	case WriteMiss:
+		return "write"
+	case UpgradeMiss:
+		return "upgrade"
+	default:
+		return fmt.Sprintf("MissKind(%d)", int(k))
+	}
+}
+
+// MsgClass classifies a protocol message for Figure 7.
+type MsgClass int
+
+// Message classes.
+const (
+	// RemoteMsg is a protocol message between processors on different
+	// physical nodes.
+	RemoteMsg MsgClass = iota
+	// LocalMsg is a protocol message between processors on the same
+	// physical node, excluding downgrade messages.
+	LocalMsg
+	// DowngradeMsg is an intra-node downgrade message (SMP-Shasta only).
+	DowngradeMsg
+
+	// NumMsgClasses is the number of message classifications.
+	NumMsgClasses
+)
+
+// String returns the paper's label for the message class.
+func (c MsgClass) String() string {
+	switch c {
+	case RemoteMsg:
+		return "remote"
+	case LocalMsg:
+		return "local"
+	case DowngradeMsg:
+		return "downgrade"
+	default:
+		return fmt.Sprintf("MsgClass(%d)", int(c))
+	}
+}
+
+// MaxDowngradeFanout is the largest number of downgrade messages a single
+// block downgrade can require (the other processors of a 4-processor node).
+const MaxDowngradeFanout = 3
+
+// Proc accumulates the statistics of a single processor.
+type Proc struct {
+	// TimeBy breaks the processor's virtual execution time into the
+	// paper's categories, in cycles.
+	TimeBy [NumTimeCategories]int64
+
+	// Misses counts shared misses that generated a protocol request,
+	// classified by request type and by whether the reply came from the
+	// home processor (2 hops) or a third processor (3 hops).
+	// Misses[kind][0] is 2-hop, Misses[kind][1] is 3-hop.
+	Misses [NumMissKinds][2]int64
+
+	// MergedMisses counts misses that were satisfied by merging with a
+	// pending request issued by another processor in the same sharing
+	// group (SMP-Shasta request combining).
+	MergedMisses int64
+
+	// LocalHits counts protocol entries resolved entirely within the
+	// sharing group by upgrading the private state table.
+	LocalHits int64
+
+	// Messages counts protocol messages sent by this processor.
+	Messages [NumMsgClasses]int64
+
+	// Downgrades[n] counts block downgrades initiated by this processor
+	// (as the handler of an incoming request) that required n downgrade
+	// messages, for n in [0, MaxDowngradeFanout].
+	Downgrades [MaxDowngradeFanout + 1]int64
+
+	// ReadLatencySum and ReadLatencyCount track the average latency of
+	// read misses satisfied by the software protocol.
+	ReadLatencySum   int64
+	ReadLatencyCount int64
+
+	// ChecksExecuted counts inline miss checks executed (loads, stores
+	// and batch checks), used by the checking-overhead experiments.
+	ChecksExecuted int64
+
+	// FalseMisses counts loads whose value happened to equal the invalid
+	// flag while the line was actually valid.
+	FalseMisses int64
+
+	// StallEvents counts distinct stall episodes (read stalls, write
+	// stalls and sync stalls), for diagnostics.
+	StallEvents int64
+}
+
+// AddTime attributes cycles to one breakdown category.
+func (p *Proc) AddTime(c TimeCategory, cycles int64) {
+	p.TimeBy[c] += cycles
+}
+
+// Total returns the processor's total accounted time in cycles.
+func (p *Proc) Total() int64 {
+	var t int64
+	for _, v := range p.TimeBy {
+		t += v
+	}
+	return t
+}
+
+// Run aggregates the statistics of a full parallel run.
+type Run struct {
+	Procs []Proc
+
+	// Cycles is the parallel execution time of the run in cycles: the
+	// maximum finish time across processors, measured from the point the
+	// statistics were last reset (normally the end of initialization).
+	Cycles int64
+
+	// CyclesPerMicrosecond converts cycles to wall time (300 for the
+	// paper's 300 MHz processors).
+	CyclesPerMicrosecond int64
+}
+
+// NewRun returns a Run with storage for n processors.
+func NewRun(n int) *Run {
+	return &Run{Procs: make([]Proc, n), CyclesPerMicrosecond: 300}
+}
+
+// Microseconds converts a cycle count into microseconds of virtual time.
+func (r *Run) Microseconds(cycles int64) float64 {
+	return float64(cycles) / float64(r.CyclesPerMicrosecond)
+}
+
+// TotalMisses sums misses across processors, kinds and hop counts.
+func (r *Run) TotalMisses() int64 {
+	var t int64
+	for i := range r.Procs {
+		for k := 0; k < int(NumMissKinds); k++ {
+			t += r.Procs[i].Misses[k][0] + r.Procs[i].Misses[k][1]
+		}
+	}
+	return t
+}
+
+// MissesBy returns the total number of misses of the given kind and hop
+// class (hops must be 2 or 3).
+func (r *Run) MissesBy(kind MissKind, hops int) int64 {
+	idx := hops - 2
+	var t int64
+	for i := range r.Procs {
+		t += r.Procs[i].Misses[kind][idx]
+	}
+	return t
+}
+
+// TotalMessages sums protocol messages across processors and classes.
+func (r *Run) TotalMessages() int64 {
+	var t int64
+	for i := range r.Procs {
+		for c := 0; c < int(NumMsgClasses); c++ {
+			t += r.Procs[i].Messages[c]
+		}
+	}
+	return t
+}
+
+// MessagesBy returns the total number of messages of one class.
+func (r *Run) MessagesBy(c MsgClass) int64 {
+	var t int64
+	for i := range r.Procs {
+		t += r.Procs[i].Messages[c]
+	}
+	return t
+}
+
+// DowngradeDistribution returns, for n in [0, MaxDowngradeFanout], the
+// fraction of block downgrades that required n downgrade messages. The
+// second return value is the total number of downgrades; if it is zero the
+// fractions are all zero.
+func (r *Run) DowngradeDistribution() ([MaxDowngradeFanout + 1]float64, int64) {
+	var counts [MaxDowngradeFanout + 1]int64
+	var total int64
+	for i := range r.Procs {
+		for n, c := range r.Procs[i].Downgrades {
+			counts[n] += c
+			total += c
+		}
+	}
+	var frac [MaxDowngradeFanout + 1]float64
+	if total > 0 {
+		for n, c := range counts {
+			frac[n] = float64(c) / float64(total)
+		}
+	}
+	return frac, total
+}
+
+// AvgReadLatencyMicros returns the mean read-miss latency in microseconds,
+// or zero if no read misses were recorded.
+func (r *Run) AvgReadLatencyMicros() float64 {
+	var sum, n int64
+	for i := range r.Procs {
+		sum += r.Procs[i].ReadLatencySum
+		n += r.Procs[i].ReadLatencyCount
+	}
+	if n == 0 {
+		return 0
+	}
+	return r.Microseconds(sum) / float64(n)
+}
+
+// TimeBy returns the total cycles in one breakdown category summed across
+// processors.
+func (r *Run) TimeBy(c TimeCategory) int64 {
+	var t int64
+	for i := range r.Procs {
+		t += r.Procs[i].TimeBy[c]
+	}
+	return t
+}
+
+// BreakdownFractions returns, per category, the fraction of the summed
+// per-processor accounted time. Used to render the stacked bars of
+// Figures 4 and 5.
+func (r *Run) BreakdownFractions() [NumTimeCategories]float64 {
+	var total int64
+	var by [NumTimeCategories]int64
+	for i := range r.Procs {
+		for c := 0; c < int(NumTimeCategories); c++ {
+			by[c] += r.Procs[i].TimeBy[c]
+			total += r.Procs[i].TimeBy[c]
+		}
+	}
+	var frac [NumTimeCategories]float64
+	if total > 0 {
+		for c := range by {
+			frac[c] = float64(by[c]) / float64(total)
+		}
+	}
+	return frac
+}
+
+// Reset zeroes every processor's counters. Used at the "start of parallel
+// phase" barrier so measurements exclude initialization, as in standard
+// SPLASH-2 methodology.
+func (r *Run) Reset() {
+	for i := range r.Procs {
+		r.Procs[i] = Proc{}
+	}
+	r.Cycles = 0
+}
+
+// Summary renders a compact multi-line report of the run, mainly for
+// debugging and the CLI's verbose mode.
+func (r *Run) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "parallel time: %.1f us (%d cycles)\n",
+		r.Microseconds(r.Cycles), r.Cycles)
+	fmt.Fprintf(&b, "misses: %d (", r.TotalMisses())
+	parts := make([]string, 0, 6)
+	for k := MissKind(0); k < NumMissKinds; k++ {
+		for _, h := range []int{2, 3} {
+			if n := r.MissesBy(k, h); n > 0 {
+				parts = append(parts, fmt.Sprintf("%s-%dhop %d", k, h, n))
+			}
+		}
+	}
+	b.WriteString(strings.Join(parts, ", "))
+	b.WriteString(")\n")
+	fmt.Fprintf(&b, "messages: %d (remote %d, local %d, downgrade %d)\n",
+		r.TotalMessages(), r.MessagesBy(RemoteMsg), r.MessagesBy(LocalMsg),
+		r.MessagesBy(DowngradeMsg))
+	frac, total := r.DowngradeDistribution()
+	if total > 0 {
+		fmt.Fprintf(&b, "downgrades: %d (0:%.0f%% 1:%.0f%% 2:%.0f%% 3:%.0f%%)\n",
+			total, frac[0]*100, frac[1]*100, frac[2]*100, frac[3]*100)
+	}
+	fr := r.BreakdownFractions()
+	fmt.Fprintf(&b, "breakdown: task %.0f%% read %.0f%% write %.0f%% sync %.0f%% msg %.0f%% other %.0f%%\n",
+		fr[Task]*100, fr[Read]*100, fr[Write]*100, fr[Sync]*100,
+		fr[Message]*100, fr[Other]*100)
+	return b.String()
+}
+
+// SortedKeys returns map keys in sorted order; a small helper shared by
+// report formatting code.
+func SortedKeys[K ~string, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

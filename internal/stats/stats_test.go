@@ -1,0 +1,186 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeCategoryNames(t *testing.T) {
+	want := map[TimeCategory]string{
+		Task: "task", Read: "read", Write: "write",
+		Sync: "sync", Message: "message", Other: "other",
+	}
+	for c, name := range want {
+		if c.String() != name {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), name)
+		}
+	}
+	if TimeCategory(99).String() == "" {
+		t.Error("unknown category should still render")
+	}
+}
+
+func TestMissKindAndMsgClassNames(t *testing.T) {
+	if ReadMiss.String() != "read" || WriteMiss.String() != "write" || UpgradeMiss.String() != "upgrade" {
+		t.Error("miss kind names wrong")
+	}
+	if RemoteMsg.String() != "remote" || LocalMsg.String() != "local" || DowngradeMsg.String() != "downgrade" {
+		t.Error("message class names wrong")
+	}
+}
+
+func TestProcTimeAccounting(t *testing.T) {
+	var p Proc
+	p.AddTime(Task, 100)
+	p.AddTime(Read, 50)
+	p.AddTime(Task, 25)
+	if p.TimeBy[Task] != 125 || p.TimeBy[Read] != 50 {
+		t.Fatalf("TimeBy = %v", p.TimeBy)
+	}
+	if p.Total() != 175 {
+		t.Fatalf("Total = %d, want 175", p.Total())
+	}
+}
+
+func TestRunAggregation(t *testing.T) {
+	r := NewRun(3)
+	r.Procs[0].Misses[ReadMiss][0] = 5  // 2-hop
+	r.Procs[1].Misses[ReadMiss][1] = 3  // 3-hop
+	r.Procs[2].Misses[WriteMiss][0] = 2 // 2-hop
+	r.Procs[0].Messages[RemoteMsg] = 10
+	r.Procs[1].Messages[LocalMsg] = 7
+	r.Procs[2].Messages[DowngradeMsg] = 4
+	if got := r.TotalMisses(); got != 10 {
+		t.Errorf("TotalMisses = %d, want 10", got)
+	}
+	if got := r.MissesBy(ReadMiss, 2); got != 5 {
+		t.Errorf("MissesBy(read,2) = %d, want 5", got)
+	}
+	if got := r.MissesBy(ReadMiss, 3); got != 3 {
+		t.Errorf("MissesBy(read,3) = %d, want 3", got)
+	}
+	if got := r.TotalMessages(); got != 21 {
+		t.Errorf("TotalMessages = %d, want 21", got)
+	}
+	if got := r.MessagesBy(DowngradeMsg); got != 4 {
+		t.Errorf("MessagesBy(downgrade) = %d, want 4", got)
+	}
+}
+
+func TestDowngradeDistribution(t *testing.T) {
+	r := NewRun(2)
+	r.Procs[0].Downgrades[0] = 6
+	r.Procs[0].Downgrades[3] = 2
+	r.Procs[1].Downgrades[1] = 2
+	frac, total := r.DowngradeDistribution()
+	if total != 10 {
+		t.Fatalf("total downgrades = %d, want 10", total)
+	}
+	if frac[0] != 0.6 || frac[1] != 0.2 || frac[2] != 0 || frac[3] != 0.2 {
+		t.Fatalf("fractions = %v", frac)
+	}
+	// Empty run: all-zero fractions, not NaN.
+	empty := NewRun(1)
+	f2, tot := empty.DowngradeDistribution()
+	if tot != 0 || f2[0] != 0 {
+		t.Fatalf("empty distribution = %v, %d", f2, tot)
+	}
+}
+
+func TestReadLatency(t *testing.T) {
+	r := NewRun(2)
+	r.Procs[0].ReadLatencySum = 6000 // 20 us at 300 cycles/us
+	r.Procs[0].ReadLatencyCount = 1
+	r.Procs[1].ReadLatencySum = 6600
+	r.Procs[1].ReadLatencyCount = 1
+	if got := r.AvgReadLatencyMicros(); got != 21 {
+		t.Fatalf("avg latency = %v us, want 21", got)
+	}
+	if NewRun(1).AvgReadLatencyMicros() != 0 {
+		t.Fatal("empty run should report zero latency")
+	}
+}
+
+func TestBreakdownFractionsSumToOne(t *testing.T) {
+	r := NewRun(2)
+	r.Procs[0].AddTime(Task, 300)
+	r.Procs[0].AddTime(Read, 100)
+	r.Procs[1].AddTime(Sync, 600)
+	fr := r.BreakdownFractions()
+	sum := 0.0
+	for _, f := range fr {
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("fractions sum to %v", sum)
+	}
+	if fr[Task] != 0.3 || fr[Sync] != 0.6 {
+		t.Fatalf("fractions = %v", fr)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRun(2)
+	r.Procs[0].AddTime(Task, 100)
+	r.Procs[1].Misses[ReadMiss][0] = 4
+	r.Cycles = 999
+	r.Reset()
+	if r.TotalMisses() != 0 || r.Procs[0].Total() != 0 || r.Cycles != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+}
+
+func TestMicroseconds(t *testing.T) {
+	r := NewRun(1)
+	if got := r.Microseconds(600); got != 2 {
+		t.Fatalf("Microseconds(600) = %v, want 2", got)
+	}
+}
+
+func TestSummaryContainsSections(t *testing.T) {
+	r := NewRun(1)
+	r.Cycles = 300000
+	r.Procs[0].Misses[UpgradeMiss][1] = 2
+	r.Procs[0].Messages[RemoteMsg] = 3
+	r.Procs[0].Downgrades[1] = 5
+	r.Procs[0].AddTime(Task, 100)
+	s := r.Summary()
+	for _, want := range []string{"parallel time", "upgrade-3hop 2", "remote 3", "downgrades: 5", "task"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("SortedKeys = %v", got)
+	}
+}
+
+// Property: aggregation equals the sum of per-processor counters for any
+// random counter assignment.
+func TestQuickAggregation(t *testing.T) {
+	f := func(vals []uint16) bool {
+		n := 4
+		r := NewRun(n)
+		var wantMisses, wantMsgs int64
+		for i, v := range vals {
+			p := &r.Procs[i%n]
+			kind := MissKind(int(v) % int(NumMissKinds))
+			hop := int(v>>3) % 2
+			p.Misses[kind][hop] += int64(v % 7)
+			wantMisses += int64(v % 7)
+			cls := MsgClass(int(v>>6) % int(NumMsgClasses))
+			p.Messages[cls] += int64(v % 5)
+			wantMsgs += int64(v % 5)
+		}
+		return r.TotalMisses() == wantMisses && r.TotalMessages() == wantMsgs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
