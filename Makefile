@@ -1,0 +1,15 @@
+# Tier-1 gate (see ROADMAP.md): vet + full build + race-mode tests of the
+# engine and protocol core. The full suite (go test ./...) adds the
+# application/harness integration tests, which take ~1 min.
+.PHONY: check test bench
+
+check:
+	go vet ./...
+	go build ./...
+	go test -race ./internal/protocol/ ./internal/sim/
+
+test:
+	go build ./... && go test ./...
+
+bench:
+	go test -bench . -benchmem

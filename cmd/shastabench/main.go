@@ -4,9 +4,13 @@
 //
 // Usage:
 //
-//	shastabench [-scale N] [-apps a,b,c] [list | all | <experiment>...]
+//	shastabench [-scale N] [-apps a,b,c] [-obsv DIR] [list | all | <experiment>...]
 //
 // Experiments: table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8 micro anl.
+//
+// With -obsv DIR, every application run additionally emits a
+// TRACE_<run>.jsonl protocol trace and a BENCH_<run>.json metrics snapshot
+// into DIR; inspect them with the shastatrace command (see OBSERVABILITY.md).
 package main
 
 import (
@@ -22,8 +26,9 @@ import (
 func main() {
 	scale := flag.Int("scale", 1, "problem size scale factor (1 = default experiment inputs)")
 	appsFlag := flag.String("apps", "", "comma-separated application subset (default: the experiment's own set)")
+	obsvDir := flag.String("obsv", "", "directory receiving TRACE_*.jsonl traces and BENCH_*.json metrics per run")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: shastabench [-scale N] [-apps a,b,c] [list | all | <experiment>...]\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: shastabench [-scale N] [-apps a,b,c] [-obsv DIR] [list | all | <experiment>...]\n\nexperiments:\n")
 		for _, e := range harness.Experiments {
 			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.ID, e.Title)
 		}
@@ -42,6 +47,13 @@ func main() {
 	opts := harness.Options{Scale: *scale}
 	if *appsFlag != "" {
 		opts.Apps = strings.Split(*appsFlag, ",")
+	}
+	if *obsvDir != "" {
+		if err := os.MkdirAll(*obsvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "shastabench: %v\n", err)
+			os.Exit(1)
+		}
+		harness.SetObsvDir(*obsvDir)
 	}
 
 	var ids []string

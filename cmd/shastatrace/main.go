@@ -1,0 +1,193 @@
+// Command shastatrace inspects the JSONL traces and metrics snapshots
+// emitted by the observability layer (see OBSERVABILITY.md for the formats).
+//
+// Usage:
+//
+//	shastatrace summarize <trace.jsonl>...
+//	shastatrace filter [-p procs] [-op ops] [-blk lo-hi,...] [-sample N] <trace.jsonl>...
+//	shastatrace timeline <block> <trace.jsonl>...
+//	shastatrace diff <a.jsonl> <b.jsonl>
+//
+// Multiple trace files are read in order and concatenated, so rotated
+// segments (trace.jsonl trace.1.jsonl ...) can be passed together.
+// summarize and diff produce deterministic output: two runs of the same
+// program and configuration summarize byte-identically.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/obsv"
+	"repro/internal/protocol"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  shastatrace summarize <trace.jsonl>...
+  shastatrace filter [-p procs] [-op ops] [-blk lo-hi,...] [-sample N] <trace.jsonl>...
+  shastatrace timeline <block> <trace.jsonl>...
+  shastatrace diff <a.jsonl> <b.jsonl>
+`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "shastatrace: %v\n", err)
+	os.Exit(1)
+}
+
+// readTraces reads and concatenates the events of all listed trace files.
+func readTraces(paths []string) []protocol.TraceEvent {
+	var all []protocol.TraceEvent
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		_, events, err := obsv.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		all = append(all, events...)
+	}
+	return all
+}
+
+func parseIntSet(s string) map[int]bool {
+	if s == "" {
+		return nil
+	}
+	set := map[int]bool{}
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fatal(fmt.Errorf("bad processor list %q: %w", s, err))
+		}
+		set[n] = true
+	}
+	return set
+}
+
+func parseOpSet(s string) map[string]bool {
+	if s == "" {
+		return nil
+	}
+	set := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		set[strings.TrimSpace(part)] = true
+	}
+	return set
+}
+
+func parseRanges(s string) []obsv.BlockRange {
+	if s == "" {
+		return nil
+	}
+	var ranges []obsv.BlockRange
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		lo, hi, found := strings.Cut(part, "-")
+		r := obsv.BlockRange{}
+		var err error
+		if r.Lo, err = strconv.Atoi(lo); err != nil {
+			fatal(fmt.Errorf("bad block range %q: %w", part, err))
+		}
+		if found {
+			if r.Hi, err = strconv.Atoi(hi); err != nil {
+				fatal(fmt.Errorf("bad block range %q: %w", part, err))
+			}
+		} else {
+			r.Hi = r.Lo
+		}
+		ranges = append(ranges, r)
+	}
+	return ranges
+}
+
+func cmdSummarize(args []string) {
+	if len(args) == 0 {
+		usage()
+	}
+	fmt.Print(obsv.Summarize(readTraces(args)).Format())
+}
+
+func cmdFilter(args []string) {
+	fs := flag.NewFlagSet("filter", flag.ExitOnError)
+	procs := fs.String("p", "", "comma-separated processor IDs to keep")
+	ops := fs.String("op", "", "comma-separated event kinds to keep (see protocol.TraceOps)")
+	blocks := fs.String("blk", "", "comma-separated block base lines or lo-hi ranges to keep")
+	sample := fs.Int("sample", 0, "keep every Nth matching event")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		usage()
+	}
+	out := os.Stdout
+	f := &obsv.Filter{
+		Next: protocol.TracerFunc(func(e protocol.TraceEvent) {
+			if err := obsv.WriteEvent(out, e); err != nil {
+				fatal(err)
+			}
+		}),
+		Procs:  parseIntSet(*procs),
+		Ops:    parseOpSet(*ops),
+		Blocks: parseRanges(*blocks),
+		Sample: *sample,
+	}
+	events := readTraces(fs.Args())
+	if err := obsv.WriteHeader(out); err != nil {
+		fatal(err)
+	}
+	for _, e := range events {
+		f.Event(e)
+	}
+}
+
+func cmdTimeline(args []string) {
+	if len(args) < 2 {
+		usage()
+	}
+	block, err := strconv.Atoi(args[0])
+	if err != nil {
+		fatal(fmt.Errorf("bad block %q: %w", args[0], err))
+	}
+	fmt.Print(obsv.Timeline(readTraces(args[1:]), block))
+}
+
+func cmdDiff(args []string) {
+	if len(args) != 2 {
+		usage()
+	}
+	a := obsv.Summarize(readTraces(args[:1]))
+	b := obsv.Summarize(readTraces(args[1:]))
+	d, equal := obsv.Diff(a, b)
+	if equal {
+		fmt.Println("traces summarize identically")
+		return
+	}
+	fmt.Print(d)
+	os.Exit(1)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "summarize":
+		cmdSummarize(args)
+	case "filter":
+		cmdFilter(args)
+	case "timeline":
+		cmdTimeline(args)
+	case "diff":
+		cmdDiff(args)
+	default:
+		usage()
+	}
+}

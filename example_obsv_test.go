@@ -1,0 +1,80 @@
+package shasta_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"repro"
+)
+
+// twoHopFetch runs a minimal remote fetch: processor 4 (on the second node)
+// loads a block homed at processor 0's sharing group.
+func twoHopFetch(tr shasta.Tracer) *shasta.Cluster {
+	cluster := shasta.MustCluster(shasta.Config{Procs: 8, Clustering: 4})
+	blk := cluster.AllocPlaced(64, 64, 0)
+	cluster.SetTracer(tr)
+	cluster.Run(func(p *shasta.Proc) {
+		p.Barrier()
+		if p.ID() == 4 {
+			_ = p.LoadF64(blk)
+		}
+		p.Barrier()
+	})
+	return cluster
+}
+
+// ExampleWriterTracer streams a trace filtered to a single block and shows
+// the protocol steps of a two-hop remote fetch (the message names are part
+// of the trace schema; timestamps are elided here for brevity).
+func ExampleWriterTracer() {
+	var buf bytes.Buffer
+	twoHopFetch(&shasta.WriterTracer{W: &buf, Blocks: map[int]bool{0: true}})
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		f := strings.Fields(line)
+		// Formatted lines read "@<time> p<proc> <op> <msg> blk<n> ...".
+		fmt.Println(f[1], f[2], f[3])
+	}
+	// Output:
+	// p4 miss -
+	// p4 send ReadReq
+	// p0 handle ReadReq
+	// p0 downgrade -
+	// p0 send DataReply
+	// p4 handle DataReply
+	// p4 install -
+}
+
+// ExampleCollectorTracer records events in memory for programmatic
+// inspection, here counting them by kind.
+func ExampleCollectorTracer() {
+	col := &shasta.CollectorTracer{}
+	twoHopFetch(col)
+	counts := map[string]int{}
+	for _, e := range col.Events {
+		counts[e.Op]++
+	}
+	fmt.Println("events:", len(col.Events))
+	fmt.Println("misses:", counts["miss"])
+	fmt.Println("installs:", counts["install"])
+	// Output:
+	// events: 121
+	// misses: 1
+	// installs: 1
+}
+
+// ExampleCluster_metrics snapshots a run's counters into the deterministic
+// shasta-metrics document (see OBSERVABILITY.md).
+func ExampleCluster_metrics() {
+	cluster := twoHopFetch(nil)
+	m := cluster.Metrics()
+	fmt.Printf("%s v%d, variant %s\n", m.Schema, m.Version, m.Config.Variant)
+	fmt.Println("misses:", m.Totals.TotalMisses)
+	fmt.Println("remote sends:", m.Network.RemoteSends)
+	fmt.Println("handler events:", m.Totals.HandlerEvents)
+	// Output:
+	// shasta-metrics v1, variant smp
+	// misses: 1
+	// remote sends: 26
+	// handler events: 47
+}

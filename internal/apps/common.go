@@ -64,6 +64,9 @@ var Names = []string{
 type RunResult struct {
 	Result   shasta.Result
 	Checksum float64
+	// Metrics is the run's counter snapshot; populated by ExecuteObserved
+	// only (plain Execute leaves it nil).
+	Metrics *shasta.Metrics
 }
 
 // Execute sets up and runs a workload on a fresh cluster with the given
@@ -76,6 +79,20 @@ func Execute(w Workload, cfg shasta.Config, variableGranularity bool) (RunResult
 	w.Setup(c, variableGranularity)
 	res := c.Run(w.Body)
 	return RunResult{Result: res, Checksum: w.Checksum()}, nil
+}
+
+// ExecuteObserved is Execute with a tracer attached for the whole run and a
+// metrics snapshot taken after it. Tracing never perturbs virtual timing, so
+// observed and plain runs report identical cycles and statistics.
+func ExecuteObserved(w Workload, cfg shasta.Config, variableGranularity bool, tr shasta.Tracer) (RunResult, error) {
+	c, err := shasta.NewCluster(cfg)
+	if err != nil {
+		return RunResult{}, err
+	}
+	c.SetTracer(tr)
+	w.Setup(c, variableGranularity)
+	res := c.Run(w.Body)
+	return RunResult{Result: res, Checksum: w.Checksum(), Metrics: c.Metrics()}, nil
 }
 
 // VerifyAgainstSequential runs the factory's workload both sequentially

@@ -16,6 +16,8 @@ package harness
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"text/tabwriter"
 
 	"repro"
@@ -90,6 +92,32 @@ type runKey struct {
 
 var runCache = map[runKey]apps.RunResult{}
 
+// obsvDir, when set, makes every (uncached) application run emit a
+// TRACE_<run>.jsonl protocol trace and a BENCH_<run>.json metrics snapshot
+// into the directory. Process-global like runCache; shastabench sets it from
+// its -obsv flag before running experiments.
+var obsvDir string
+
+// SetObsvDir enables trace and metrics emission for subsequent runs into
+// dir (empty disables it). See OBSERVABILITY.md for the file formats.
+func SetObsvDir(dir string) { obsvDir = dir }
+
+// obsvName encodes a run key into the file-name fragment shared by that
+// run's trace and metrics files.
+func obsvName(key runKey) string {
+	name := fmt.Sprintf("%s_s%d_p%d_c%d", key.app, key.scale, key.procs, key.cluster)
+	if key.hardware {
+		name += "_hw"
+	}
+	if key.smpChk {
+		name += "_smpchk"
+	}
+	if key.varGran {
+		name += "_vg"
+	}
+	return name
+}
+
 // runApp executes (or recalls) one application run.
 func runApp(app string, scale int, cfg shasta.Config, varGran bool) (apps.RunResult, error) {
 	key := runKey{app, scale, cfg.Procs, cfg.Clustering, cfg.Hardware, cfg.ForceSMPChecks, varGran}
@@ -100,11 +128,48 @@ func runApp(app string, scale int, cfg shasta.Config, varGran bool) (apps.RunRes
 	if !ok {
 		return apps.RunResult{}, fmt.Errorf("harness: unknown application %q", app)
 	}
-	r, err := apps.Execute(f(scale), cfg, varGran)
+	var r apps.RunResult
+	var err error
+	if obsvDir != "" {
+		r, err = runObserved(key, f(scale), cfg, varGran)
+	} else {
+		r, err = apps.Execute(f(scale), cfg, varGran)
+	}
 	if err != nil {
 		return apps.RunResult{}, err
 	}
 	runCache[key] = r
+	return r, nil
+}
+
+// runObserved executes one run with a trace sink attached and writes the
+// trace and metrics files. Cached recalls of the same key skip this — the
+// files from the first execution already exist and are identical (the
+// simulator is deterministic).
+func runObserved(key runKey, w apps.Workload, cfg shasta.Config, varGran bool) (apps.RunResult, error) {
+	name := obsvName(key)
+	sink, err := shasta.NewTraceSink(filepath.Join(obsvDir, "TRACE_"+name+".jsonl"), shasta.SinkOptions{})
+	if err != nil {
+		return apps.RunResult{}, err
+	}
+	r, err := apps.ExecuteObserved(w, cfg, varGran, sink)
+	if cerr := sink.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("harness: trace sink: %w", cerr)
+	}
+	if err != nil {
+		return apps.RunResult{}, err
+	}
+	mf, err := os.Create(filepath.Join(obsvDir, "BENCH_"+name+".json"))
+	if err != nil {
+		return apps.RunResult{}, err
+	}
+	if err := r.Metrics.WriteJSON(mf); err != nil {
+		mf.Close()
+		return apps.RunResult{}, err
+	}
+	if err := mf.Close(); err != nil {
+		return apps.RunResult{}, err
+	}
 	return r, nil
 }
 

@@ -101,9 +101,16 @@ type Network struct {
 	// linkFree[n] is the earliest cycle node n's outgoing Memory Channel
 	// link is free.
 	linkFree []int64
-	// counters for diagnostics
+	// counters for diagnostics and observability snapshots
 	remoteSends, localSends int64
 	remoteBytes             int64
+	// linkBusy[n] accumulates cycles node n's link spent serializing
+	// data; linkWait accumulates cycles messages waited for a busy link,
+	// and maxBacklog is the largest single such wait (the deepest the
+	// per-node send queue ever got, in cycles).
+	linkBusy   []int64
+	linkWait   int64
+	maxBacklog int64
 }
 
 // New builds a network for the topology. It panics on an invalid topology,
@@ -116,6 +123,7 @@ func New(topo Topology, par Params) *Network {
 		topo:     topo,
 		par:      par,
 		linkFree: make([]int64, topo.NumNodes()),
+		linkBusy: make([]int64, topo.NumNodes()),
 	}
 }
 
@@ -151,8 +159,14 @@ func (n *Network) Send(p *sim.Proc, dst int, payloadBytes int, payload any) {
 	transfer := transferCycles(size, n.par.RemoteBytesPerKCycle)
 	start := p.Now()
 	if n.linkFree[node] > start {
+		wait := n.linkFree[node] - start
+		n.linkWait += wait
+		if wait > n.maxBacklog {
+			n.maxBacklog = wait
+		}
 		start = n.linkFree[node]
 	}
+	n.linkBusy[node] += transfer
 	n.linkFree[node] = start + transfer
 	arrival := start + transfer + n.par.RemoteWire
 	p.SendAt(dst, arrival, payload)
@@ -167,3 +181,17 @@ func (n *Network) LocalSends() int64 { return n.localSends }
 // RemoteBytes returns total bytes (including headers) pushed over the
 // Memory Channel.
 func (n *Network) RemoteBytes() int64 { return n.remoteBytes }
+
+// LinkBusy returns, per node, the cycles its Memory Channel link spent
+// serializing outgoing data.
+func (n *Network) LinkBusy() []int64 {
+	return append([]int64(nil), n.linkBusy...)
+}
+
+// LinkWait returns the total cycles messages spent queued behind a busy
+// Memory Channel link.
+func (n *Network) LinkWait() int64 { return n.linkWait }
+
+// MaxLinkBacklog returns the largest single wait a message incurred behind
+// a busy link, in cycles — the deepest any node's send queue got.
+func (n *Network) MaxLinkBacklog() int64 { return n.maxBacklog }

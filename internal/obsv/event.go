@@ -1,0 +1,111 @@
+package obsv
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/protocol"
+)
+
+// TraceSchema names the JSONL trace format in file headers.
+const TraceSchema = "shasta-trace"
+
+// Header is the first line of every trace file (and of every rotated
+// segment). Readers reject files whose schema name differs or whose version
+// is newer than the reader understands.
+type Header struct {
+	Schema  string `json:"schema"`
+	Version int    `json:"version"`
+}
+
+// NewHeader returns the header for traces written by this build.
+func NewHeader() Header {
+	return Header{Schema: TraceSchema, Version: protocol.TraceSchemaVersion}
+}
+
+// wireEvent is the stable JSON shape of one trace event. Field names are
+// part of the versioned schema (see protocol.TraceSchemaVersion and
+// OBSERVABILITY.md); changing or removing one requires a version bump.
+type wireEvent struct {
+	Seq    uint64 `json:"seq"`
+	Time   int64  `json:"t"`
+	Proc   int    `json:"p"`
+	Op     string `json:"op"`
+	Msg    string `json:"msg,omitempty"`
+	Block  int    `json:"blk"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// WriteHeader writes a trace file header line.
+func WriteHeader(w io.Writer) error {
+	b, err := json.Marshal(NewHeader())
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteEvent writes one event as a JSONL line.
+func WriteEvent(w io.Writer, e protocol.TraceEvent) error {
+	b, err := json.Marshal(wireEvent{
+		Seq: e.Seq, Time: e.Time, Proc: e.Proc, Op: e.Op, Msg: e.Msg,
+		Block: e.BaseLine, Detail: e.Detail,
+	})
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadTrace parses one JSONL trace stream: a header line followed by event
+// lines. Blank lines are skipped.
+func ReadTrace(r io.Reader) (Header, []protocol.TraceEvent, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var h Header
+	var events []protocol.TraceEvent
+	sawHeader := false
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		if !sawHeader {
+			if err := json.Unmarshal(b, &h); err != nil {
+				return h, nil, fmt.Errorf("obsv: line %d: bad trace header: %w", line, err)
+			}
+			if h.Schema != TraceSchema {
+				return h, nil, fmt.Errorf("obsv: not a %s file (schema %q)", TraceSchema, h.Schema)
+			}
+			if h.Version > protocol.TraceSchemaVersion {
+				return h, nil, fmt.Errorf("obsv: trace version %d is newer than supported version %d",
+					h.Version, protocol.TraceSchemaVersion)
+			}
+			sawHeader = true
+			continue
+		}
+		var we wireEvent
+		if err := json.Unmarshal(b, &we); err != nil {
+			return h, nil, fmt.Errorf("obsv: line %d: bad trace event: %w", line, err)
+		}
+		events = append(events, protocol.TraceEvent{
+			Seq: we.Seq, Time: we.Time, Proc: we.Proc, Op: we.Op, Msg: we.Msg,
+			BaseLine: we.Block, Detail: we.Detail,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return h, nil, err
+	}
+	if !sawHeader {
+		return h, nil, fmt.Errorf("obsv: empty trace (no header line)")
+	}
+	return h, events, nil
+}

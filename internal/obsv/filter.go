@@ -1,0 +1,73 @@
+package obsv
+
+import "repro/internal/protocol"
+
+// BlockRange is an inclusive range of block base lines.
+type BlockRange struct {
+	Lo, Hi int
+}
+
+// Contains reports whether the range covers base line b.
+func (r BlockRange) Contains(b int) bool { return b >= r.Lo && b <= r.Hi }
+
+// Filter is a protocol.Tracer stage that forwards only matching events to
+// Next, optionally downsampling them. The match predicates are conjunctive;
+// an empty predicate matches everything. Filtering costs a few map lookups
+// per event and allocates nothing, so a tight filter is cheap enough to
+// leave enabled on full benchmark runs.
+type Filter struct {
+	// Next receives the surviving events.
+	Next protocol.Tracer
+	// Procs restricts to these emitting processors; empty means all.
+	Procs map[int]bool
+	// Ops restricts to these event kinds (see protocol.TraceOps); empty
+	// means all.
+	Ops map[string]bool
+	// Blocks restricts to events whose block falls in any of these
+	// ranges; empty means all. Non-block events (BaseLine -1, i.e. sync
+	// and batch markers) only pass when a range covers -1.
+	Blocks []BlockRange
+	// Sample keeps every Sample-th matching event (1-in-N sampling,
+	// counted after the predicates); 0 or 1 keeps all of them. Sequence
+	// numbers of kept events stay those of the original stream, so gaps
+	// reveal the sampling.
+	Sample int
+
+	matched uint64
+}
+
+// Match reports whether the event passes the filter's predicates (ignoring
+// sampling).
+func (f *Filter) Match(e protocol.TraceEvent) bool {
+	if len(f.Procs) > 0 && !f.Procs[e.Proc] {
+		return false
+	}
+	if len(f.Ops) > 0 && !f.Ops[e.Op] {
+		return false
+	}
+	if len(f.Blocks) > 0 {
+		ok := false
+		for _, r := range f.Blocks {
+			if r.Contains(e.BaseLine) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Event implements protocol.Tracer.
+func (f *Filter) Event(e protocol.TraceEvent) {
+	if !f.Match(e) {
+		return
+	}
+	f.matched++
+	if f.Sample > 1 && (f.matched-1)%uint64(f.Sample) != 0 {
+		return
+	}
+	f.Next.Event(e)
+}

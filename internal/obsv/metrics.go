@@ -1,0 +1,266 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/protocol"
+	"repro/internal/stats"
+)
+
+// MetricsSchema names the metrics document format, and MetricsVersion its
+// current version. The field names of Snapshot and its sub-structs are part
+// of the versioned contract (see OBSERVABILITY.md): removing or renaming a
+// field requires a version bump; adding fields does not.
+const (
+	MetricsSchema  = "shasta-metrics"
+	MetricsVersion = 1
+)
+
+// ConfigInfo records the run configuration a snapshot was taken under.
+type ConfigInfo struct {
+	Procs        int    `json:"procs"`
+	ProcsPerNode int    `json:"procs_per_node"`
+	Clustering   int    `json:"clustering"`
+	LineSize     int    `json:"line_size"`
+	Hardware     bool   `json:"hardware"`
+	Variant      string `json:"variant"` // "base", "smp" or "hardware"
+}
+
+// Totals aggregates counters across all processors.
+type Totals struct {
+	// Misses maps "<kind>-<hops>hop" (e.g. "read-2hop") to miss counts,
+	// with only non-zero entries present.
+	Misses      map[string]int64 `json:"misses"`
+	TotalMisses int64            `json:"total_misses"`
+	// Messages maps the Figure 7 classes ("remote", "local", "downgrade")
+	// to protocol message counts.
+	Messages      map[string]int64 `json:"messages"`
+	TotalMessages int64            `json:"total_messages"`
+	// TimeBy maps the Figure 4/5 breakdown categories ("task", "read",
+	// "write", "sync", "message", "other") to cycles summed across
+	// processors.
+	TimeBy map[string]int64 `json:"time_by"`
+	// Downgrades[n] counts block downgrades that required n downgrade
+	// messages (Figure 8).
+	Downgrades [stats.MaxDowngradeFanout + 1]int64 `json:"downgrades"`
+
+	MergedMisses int64 `json:"merged_misses"`
+	LocalHits    int64 `json:"local_hits"`
+	Checks       int64 `json:"checks"`
+	FalseMisses  int64 `json:"false_misses"`
+	StallEvents  int64 `json:"stall_events"`
+
+	// Handler occupancy: cycles spent in top-level protocol message
+	// dispatches, and how many there were.
+	HandlerCycles int64 `json:"handler_cycles"`
+	HandlerEvents int64 `json:"handler_events"`
+	// Line-lock hold time (SMP-Shasta only; zero under Base-Shasta).
+	LockHoldCycles int64 `json:"lock_hold_cycles"`
+	LockAcquires   int64 `json:"lock_acquires"`
+
+	AvgReadLatencyMicros float64 `json:"avg_read_latency_us"`
+}
+
+// NetworkMetrics snapshots the interconnect model's counters.
+type NetworkMetrics struct {
+	RemoteSends int64 `json:"remote_sends"`
+	LocalSends  int64 `json:"local_sends"`
+	RemoteBytes int64 `json:"remote_bytes"`
+	// LinkWaitCycles is the total time messages queued behind a busy
+	// Memory Channel link; MaxLinkBacklogCycles the largest single wait.
+	LinkWaitCycles       int64 `json:"link_wait_cycles"`
+	MaxLinkBacklogCycles int64 `json:"max_link_backlog_cycles"`
+	// LinkBusyCycles is, per node, the cycles its outgoing link spent
+	// serializing data.
+	LinkBusyCycles []int64 `json:"link_busy_cycles"`
+	// PeakInboxDepth is, per processor, the deepest its simulation inbox
+	// ever got.
+	PeakInboxDepth []int `json:"peak_inbox_depth"`
+}
+
+// ProcMetrics is one processor's slice of the counters.
+type ProcMetrics struct {
+	Proc           int              `json:"proc"`
+	TimeBy         map[string]int64 `json:"time_by"`
+	Misses         map[string]int64 `json:"misses"`
+	Messages       map[string]int64 `json:"messages"`
+	HandlerCycles  int64            `json:"handler_cycles"`
+	HandlerEvents  int64            `json:"handler_events"`
+	LockHoldCycles int64            `json:"lock_hold_cycles"`
+	LockAcquires   int64            `json:"lock_acquires"`
+	Checks         int64            `json:"checks"`
+}
+
+// Snapshot is the metrics document: one run's counters frozen at snapshot
+// time. Because the simulator is deterministic and JSON object keys are
+// emitted in sorted order, two runs of the same program and configuration
+// produce byte-identical snapshots.
+type Snapshot struct {
+	Schema  string     `json:"schema"`
+	Version int        `json:"version"`
+	Config  ConfigInfo `json:"config"`
+	// Cycles is the measured parallel time in cycles; Micros the same in
+	// microseconds of the 300 MHz virtual clock.
+	Cycles  int64          `json:"cycles"`
+	Micros  float64        `json:"micros"`
+	Totals  Totals         `json:"totals"`
+	Network NetworkMetrics `json:"network"`
+	Procs   []ProcMetrics  `json:"procs"`
+}
+
+func timeByMap(p *stats.Proc) map[string]int64 {
+	m := make(map[string]int64, stats.NumTimeCategories)
+	for c := stats.TimeCategory(0); c < stats.NumTimeCategories; c++ {
+		m[c.String()] = p.TimeBy[c]
+	}
+	return m
+}
+
+func missMap(p *stats.Proc) map[string]int64 {
+	m := map[string]int64{}
+	for k := stats.MissKind(0); k < stats.NumMissKinds; k++ {
+		for i, hops := range []int{2, 3} {
+			if n := p.Misses[k][i]; n > 0 {
+				m[fmt.Sprintf("%s-%dhop", k, hops)] = n
+			}
+		}
+	}
+	return m
+}
+
+func msgMap(p *stats.Proc) map[string]int64 {
+	m := make(map[string]int64, stats.NumMsgClasses)
+	for c := stats.MsgClass(0); c < stats.NumMsgClasses; c++ {
+		m[c.String()] = p.Messages[c]
+	}
+	return m
+}
+
+// Snap freezes the system's counters into a Snapshot. It only reads state —
+// no virtual clock moves — so it can be taken at any quiescent point; the
+// normal place is after System.Run returns.
+func Snap(sys *protocol.System) *Snapshot {
+	cfg := sys.Config()
+	run := sys.Stats()
+	net := sys.Network()
+	eng := sys.Engine()
+
+	variant := "base"
+	switch {
+	case cfg.Hardware:
+		variant = "hardware"
+	case cfg.SMP():
+		variant = "smp"
+	}
+
+	s := &Snapshot{
+		Schema:  MetricsSchema,
+		Version: MetricsVersion,
+		Config: ConfigInfo{
+			Procs:        cfg.NumProcs,
+			ProcsPerNode: cfg.ProcsPerNode,
+			Clustering:   cfg.Clustering,
+			LineSize:     cfg.LineSize,
+			Hardware:     cfg.Hardware,
+			Variant:      variant,
+		},
+		Cycles: run.Cycles,
+		Micros: run.Microseconds(run.Cycles),
+	}
+
+	t := &s.Totals
+	t.Misses = map[string]int64{}
+	t.Messages = make(map[string]int64, stats.NumMsgClasses)
+	t.TimeBy = make(map[string]int64, stats.NumTimeCategories)
+	for c := stats.MsgClass(0); c < stats.NumMsgClasses; c++ {
+		t.Messages[c.String()] = run.MessagesBy(c)
+	}
+	for c := stats.TimeCategory(0); c < stats.NumTimeCategories; c++ {
+		t.TimeBy[c.String()] = run.TimeBy(c)
+	}
+	for k := stats.MissKind(0); k < stats.NumMissKinds; k++ {
+		for _, hops := range []int{2, 3} {
+			if n := run.MissesBy(k, hops); n > 0 {
+				t.Misses[fmt.Sprintf("%s-%dhop", k, hops)] = n
+			}
+		}
+	}
+	t.TotalMisses = run.TotalMisses()
+	t.TotalMessages = run.TotalMessages()
+	for i := range run.Procs {
+		p := &run.Procs[i]
+		for n, c := range p.Downgrades {
+			t.Downgrades[n] += c
+		}
+		t.MergedMisses += p.MergedMisses
+		t.LocalHits += p.LocalHits
+		t.Checks += p.ChecksExecuted
+		t.FalseMisses += p.FalseMisses
+		t.StallEvents += p.StallEvents
+	}
+	t.HandlerCycles, t.HandlerEvents = run.HandlerOccupancy()
+	t.LockHoldCycles, t.LockAcquires = run.LockHolds()
+	t.AvgReadLatencyMicros = run.AvgReadLatencyMicros()
+
+	s.Network = NetworkMetrics{
+		RemoteSends:          net.RemoteSends(),
+		LocalSends:           net.LocalSends(),
+		RemoteBytes:          net.RemoteBytes(),
+		LinkWaitCycles:       net.LinkWait(),
+		MaxLinkBacklogCycles: net.MaxLinkBacklog(),
+		LinkBusyCycles:       net.LinkBusy(),
+	}
+	s.Network.PeakInboxDepth = make([]int, eng.NumProcs())
+	for i := 0; i < eng.NumProcs(); i++ {
+		s.Network.PeakInboxDepth[i] = eng.Proc(i).PeakInboxDepth()
+	}
+
+	s.Procs = make([]ProcMetrics, len(run.Procs))
+	for i := range run.Procs {
+		p := &run.Procs[i]
+		s.Procs[i] = ProcMetrics{
+			Proc:           i,
+			TimeBy:         timeByMap(p),
+			Misses:         missMap(p),
+			Messages:       msgMap(p),
+			HandlerCycles:  p.HandlerCycles,
+			HandlerEvents:  p.HandlerEvents,
+			LockHoldCycles: p.LockHoldCycles,
+			LockAcquires:   p.LockAcquires,
+			Checks:         p.ChecksExecuted,
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON (with a trailing newline).
+// Go sorts JSON object keys, so the output is deterministic.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadSnapshot parses a metrics document, validating its schema name and
+// version.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("obsv: bad metrics document: %w", err)
+	}
+	if s.Schema != MetricsSchema {
+		return nil, fmt.Errorf("obsv: not a %s document (schema %q)", MetricsSchema, s.Schema)
+	}
+	if s.Version > MetricsVersion {
+		return nil, fmt.Errorf("obsv: metrics version %d is newer than supported version %d",
+			s.Version, MetricsVersion)
+	}
+	return &s, nil
+}

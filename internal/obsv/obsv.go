@@ -1,0 +1,14 @@
+// Package obsv is the observability layer: it serializes protocol trace
+// events to a stable, versioned JSONL format (with buffered sinks, file
+// rotation and a cheap sampling/filtering stage), snapshots the system's
+// counters — protocol statistics, interconnect queueing, handler occupancy,
+// lock hold times — into a deterministic JSON metrics document, and provides
+// the summarize/diff/timeline analyses behind the shastatrace CLI.
+//
+// The package sits strictly downstream of the simulation: it only reads
+// virtual clocks and counters, never advances them, so enabling tracing or
+// taking a snapshot cannot perturb a run's virtual timing. Because the
+// simulator is deterministic, two runs of the same program and configuration
+// produce byte-identical traces and snapshots; the trace/metrics contract is
+// documented in OBSERVABILITY.md.
+package obsv

@@ -159,6 +159,7 @@ func (p *Proc) batchStateOK(base int, store bool) bool {
 func (p *Proc) batchMiss(bases []int, needs map[int]need2) {
 	c := p.sys.cfg.Costs
 	p.charge(stats.Task, c.Entry)
+	p.trace("batch", "", -1, "%d blocks", len(bases))
 	// Mark all blocks first so the invalid-flag store for any block
 	// invalidated while the handler waits is deferred until the batch
 	// ends, keeping batched loads correct (the paper's batch markers).

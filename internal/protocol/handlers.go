@@ -71,7 +71,9 @@ var debugTraceBlock = -1
 // SetDebugTraceBlock enables message tracing for one block base line.
 func SetDebugTraceBlock(base int) { debugTraceBlock = base }
 
-// handle dispatches one protocol message.
+// handle dispatches one protocol message, measuring handler occupancy for
+// top-level dispatches (nested replays are part of their enclosing
+// dispatch; wakeups are free and not counted).
 func (p *Proc) handle(m *pmsg) {
 	if m.kind != mWake {
 		detail := ""
@@ -80,6 +82,15 @@ func (p *Proc) handle(m *pmsg) {
 		}
 		p.trace("handle", m.kind.String(), m.baseLine, "from R%d seq=%d: %s",
 			m.requester, m.seq, detail)
+		if p.handlerDepth == 0 {
+			start := p.sp.Now()
+			p.handlerDepth++
+			defer func() {
+				p.handlerDepth--
+				p.st.HandlerCycles += p.sp.Now() - start
+				p.st.HandlerEvents++
+			}()
+		}
 	}
 	if debugTraceBlock >= 0 && m.baseLine == debugTraceBlock && m.kind != mWake {
 		e := p.grp.miss[m.baseLine]
@@ -555,6 +566,7 @@ func (p *Proc) invalidateLocal(base int) {
 	if debugTraceBlock >= 0 && base == debugTraceBlock {
 		fmt.Printf("[blk%d @%d] proc %d invalidateLocal (marks %d)\n", base, p.sp.Now(), p.id, p.grp.batchMarks[base])
 	}
+	p.trace("invalidate", "", base, "deferred=%v", p.grp.batchMarks[base] > 0)
 	if p.grp.batchMarks[base] > 0 {
 		// The flag store is deferred until the batch ends; state becomes
 		// invalid immediately so new protocol entries behave correctly.
@@ -698,6 +710,7 @@ func (p *Proc) handleDataReply(m *pmsg) {
 	p.mergeStores(entry)
 	p.grp.copySeq[base] = m.seq
 	entry.dataArrived = true
+	p.trace("install", "", base, "shared seq=%d hops=%d", m.seq, m.hops)
 	p.st.ReadLatencySum += p.sp.Now() - m.issueTime
 	p.st.ReadLatencyCount++
 	var done bool
@@ -746,6 +759,7 @@ func (p *Proc) handleDataExclReply(m *pmsg) {
 	entry.dataArrived = true
 	entry.exclGranted = true
 	entry.acksExpected = m.acks
+	p.trace("install", "", base, "exclusive seq=%d hops=%d acks=%d", m.seq, m.hops, m.acks)
 	if entry.kind == stats.ReadMiss {
 		p.st.ReadLatencySum += p.sp.Now() - m.issueTime
 		p.st.ReadLatencyCount++
@@ -784,6 +798,7 @@ func (p *Proc) handleUpgradeAck(m *pmsg) {
 	entry.exclGranted = true
 	entry.acksExpected = m.acks
 	p.grp.copySeq[base] = m.seq
+	p.trace("install", "", base, "upgrade seq=%d acks=%d", m.seq, m.acks)
 	p.grp.img.SetBlockState(base, memory.Exclusive)
 	if entry.issuer == p.id {
 		p.setPrivBlock(base, memory.Exclusive)

@@ -39,8 +39,14 @@ type Proc struct {
 
 	// holdingLock is the base line whose protocol line lock this
 	// processor holds, or -1. Protocol code must never block on messages
-	// while holding a line lock.
-	holdingLock int
+	// while holding a line lock. lockAcquiredAt is the acquisition time of
+	// the held lock, for the hold-time statistics.
+	holdingLock    int
+	lockAcquiredAt int64
+
+	// handlerDepth is the nesting depth of handle() dispatches, so handler
+	// occupancy is attributed once per top-level dispatch.
+	handlerDepth int
 
 	// inBatch is nonzero while executing a batched sequence.
 	inBatch int
@@ -134,6 +140,8 @@ func (p *Proc) lockBlock(baseLine int) {
 		if !held {
 			p.grp.locks[baseLine] = p.id
 			p.holdingLock = baseLine
+			p.lockAcquiredAt = p.sp.Now()
+			p.st.LockAcquires++
 			return
 		}
 		if holder == p.id {
@@ -153,6 +161,7 @@ func (p *Proc) unlockBlock(baseLine int) {
 	}
 	delete(p.grp.locks, baseLine)
 	p.holdingLock = -1
+	p.st.LockHoldCycles += p.sp.Now() - p.lockAcquiredAt
 	p.charge(stats.Other, p.sys.cfg.Costs.LockRelease)
 }
 

@@ -87,6 +87,7 @@ func (p *Proc) releaseStores() {
 // lock manager grants it.
 func (p *Proc) LockAcquire(id int) {
 	p.poll()
+	p.trace("sync", "", -1, "lock-acquire id=%d", id)
 	home := p.sys.lockHome(id)
 	p.send(home, &pmsg{kind: mLockReq, baseLine: -1, id: id, requester: p.id}, stats.Sync)
 	p.stallUntil(stats.Sync, fmt.Sprintf("lock-%d", id), func() bool {
@@ -99,6 +100,7 @@ func (p *Proc) LockAcquire(id int) {
 // release-consistency store wait.
 func (p *Proc) LockRelease(id int) {
 	p.poll()
+	p.trace("sync", "", -1, "lock-release id=%d", id)
 	p.releaseStores()
 	home := p.sys.lockHome(id)
 	p.send(home, &pmsg{kind: mLockRel, baseLine: -1, id: id, requester: p.id}, stats.Sync)
@@ -113,6 +115,7 @@ func (p *Proc) LockRelease(id int) {
 // the paper's planned SMP-aware synchronization.
 func (p *Proc) Barrier() {
 	p.poll()
+	p.trace("sync", "", -1, "barrier gen=%d", p.barGen)
 	p.releaseStores()
 	gen := p.barGen
 	if p.sys.cfg.FastSync && p.sys.cfg.SMP() && !p.sys.cfg.Hardware {

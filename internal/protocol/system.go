@@ -32,8 +32,10 @@ type System struct {
 	// reported parallel time excludes initialization and verification.
 	startTime, endTime int64
 
-	// tracer receives protocol events when attached (see trace.go).
-	tracer Tracer
+	// tracer receives protocol events when attached (see trace.go);
+	// traceSeq numbers them globally in emission order.
+	tracer   Tracer
+	traceSeq uint64
 }
 
 // group is a sharing group: the processors that share application data, the
@@ -218,6 +220,12 @@ func (s *System) Config() Config { return s.cfg }
 
 // Stats returns the run statistics.
 func (s *System) Stats() *stats.Run { return s.stats }
+
+// Network returns the interconnect model, for observability snapshots.
+func (s *System) Network() *memchan.Network { return s.net }
+
+// Engine returns the simulation engine, for observability snapshots.
+func (s *System) Engine() *sim.Engine { return s.eng }
 
 // Layout returns the shared heap layout.
 func (s *System) Layout() *memory.Layout { return s.lay }

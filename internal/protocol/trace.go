@@ -7,23 +7,56 @@ import (
 	"repro/internal/memory"
 )
 
+// TraceSchemaVersion is the version of the trace-event schema: the set of
+// TraceEvent fields, the Op vocabulary below, and the message-kind names
+// used in Msg. It is carried in the header of serialized traces (see
+// internal/obsv) and must be bumped whenever a field is renamed or removed,
+// an Op is renamed, or the meaning of an existing field changes. Adding a
+// new Op or message kind is a compatible extension and does not require a
+// bump. The contract is documented field by field in OBSERVABILITY.md.
+const TraceSchemaVersion = 1
+
+// TraceOps lists the event kinds a Tracer can receive, in no particular
+// order. The vocabulary is part of the versioned trace schema:
+//
+//	send        a protocol message leaves a processor
+//	handle      a protocol message is dispatched at its destination
+//	miss        a shared miss registers a new miss-table entry
+//	downgrade   a block downgrade starts within a sharing group
+//	install     reply data (or an upgrade grant) is installed at the requester
+//	invalidate  a block's local copy is flag-filled and marked invalid
+//	sync        an application synchronization point (lock, barrier)
+//	batch       the batch miss handler begins fetching a batch's blocks
+var TraceOps = []string{
+	"send", "handle", "miss", "downgrade", "install", "invalidate",
+	"sync", "batch",
+}
+
 // TraceEvent is one protocol-level event, emitted to a Tracer attached to
-// the System. Tracing is intended for debugging coherence behaviour and for
-// teaching: a filtered trace of a single block reads like the protocol
+// the System. Tracing is intended for debugging coherence behaviour, for
+// the observability pipeline (see internal/obsv and cmd/shastatrace), and
+// for teaching: a filtered trace of a single block reads like the protocol
 // walkthroughs in the paper (request, forward, downgrade messages, reply).
 type TraceEvent struct {
+	// Seq is a global, strictly increasing sequence number assigned at
+	// emission. The simulator is cooperatively scheduled, so Seq gives a
+	// deterministic total order over all events of a run, including
+	// same-cycle events on different processors.
+	Seq uint64
 	// Time is the emitting processor's virtual clock in cycles.
 	Time int64
 	// Proc is the emitting processor.
 	Proc int
-	// Op names the event: "send", "handle", "miss", "downgrade",
-	// "install", "invalidate".
+	// Op names the event; see TraceOps.
 	Op string
-	// Msg is the protocol message kind for send/handle events.
+	// Msg is the protocol message kind for send/handle events, empty
+	// otherwise.
 	Msg string
 	// BaseLine identifies the block, -1 for non-block events.
 	BaseLine int
 	// Detail is free-form context (states, sequence numbers, targets).
+	// Unlike the other fields it is not part of the stable schema: its
+	// contents may change between versions without a bump.
 	Detail string
 }
 
@@ -90,7 +123,9 @@ func (p *Proc) trace(op, msg string, base int, format string, args ...any) {
 	if tr == nil {
 		return
 	}
+	p.sys.traceSeq++
 	tr.Event(TraceEvent{
+		Seq:      p.sys.traceSeq,
 		Time:     p.sp.Now(),
 		Proc:     p.id,
 		Op:       op,

@@ -64,6 +64,38 @@ func TestCollectorTracerLimit(t *testing.T) {
 	}
 }
 
+func TestTraceSeqStrictlyIncreasing(t *testing.T) {
+	s := testSystem(8, 4)
+	a := s.Alloc(1024, 64)
+	col := &CollectorTracer{}
+	s.SetTracer(col)
+	s.Run(func(p *Proc) {
+		for i := 0; i < 8; i++ {
+			p.StoreU64(a+Addr8(i*4), uint64(p.ID()))
+		}
+		p.Barrier()
+	})
+	if len(col.Events) == 0 {
+		t.Fatal("no events")
+	}
+	// Seq is a global total order: strictly increasing across the whole
+	// run, starting at 1, with no gaps at the emission point.
+	for i, e := range col.Events {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+	}
+	ops := map[string]bool{}
+	for _, op := range TraceOps {
+		ops[op] = true
+	}
+	for _, e := range col.Events {
+		if !ops[e.Op] {
+			t.Fatalf("event op %q not in TraceOps", e.Op)
+		}
+	}
+}
+
 func TestWriterTracerFilters(t *testing.T) {
 	s := testSystem(8, 4)
 	a := s.AllocPlaced(64, 64, 0) // block 0

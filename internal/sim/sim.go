@@ -75,7 +75,14 @@ type Proc struct {
 	body    func(*Proc)
 	// blockedAt records where a processor blocked, for deadlock reports.
 	blockedAt string
+	// peakInbox is the deepest the inbox ever got, for observability
+	// snapshots of queue depths.
+	peakInbox int
 }
+
+// PeakInboxDepth returns the largest number of messages ever queued for
+// this processor at once.
+func (p *Proc) PeakInboxDepth() int { return p.peakInbox }
 
 // Now returns the processor's current virtual time in cycles.
 func (p *Proc) Now() int64 { return p.now }
@@ -215,6 +222,9 @@ func (e *Engine) deliver(m Message) {
 	m.seq = e.seq
 	dst := e.procs[m.Dst]
 	heap.Push(&dst.inbox, m)
+	if len(dst.inbox) > dst.peakInbox {
+		dst.peakInbox = len(dst.inbox)
+	}
 }
 
 type procPanic struct {
@@ -235,6 +245,7 @@ func (e *Engine) Run(body func(*Proc)) int64 {
 		p.now = 0
 		p.horizon = 0
 		p.inbox = nil
+		p.peakInbox = 0
 		go func(p *Proc) {
 			defer func() {
 				if r := recover(); r != nil {

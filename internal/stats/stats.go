@@ -172,6 +172,22 @@ type Proc struct {
 	// StallEvents counts distinct stall episodes (read stalls, write
 	// stalls and sync stalls), for diagnostics.
 	StallEvents int64
+
+	// HandlerCycles is the total virtual time this processor spent inside
+	// protocol message handlers (top-level dispatches only; nested replays
+	// are included in their enclosing dispatch), and HandlerEvents the
+	// number of such dispatches. Together they give handler occupancy for
+	// the observability snapshots; wakeups are excluded.
+	HandlerCycles int64
+	HandlerEvents int64
+
+	// LockHoldCycles is the total virtual time this processor held a
+	// protocol line lock, and LockAcquires the number of acquisitions
+	// (SMP-Shasta only; both stay zero under Base-Shasta, which needs no
+	// protocol locking). Spin time waiting for a lock is charged to the
+	// time breakdown, not counted here.
+	LockHoldCycles int64
+	LockAcquires   int64
 }
 
 // AddTime attributes cycles to one breakdown category.
@@ -288,6 +304,26 @@ func (r *Run) AvgReadLatencyMicros() float64 {
 		return 0
 	}
 	return r.Microseconds(sum) / float64(n)
+}
+
+// HandlerOccupancy returns total handler cycles and dispatch count across
+// processors.
+func (r *Run) HandlerOccupancy() (cycles, events int64) {
+	for i := range r.Procs {
+		cycles += r.Procs[i].HandlerCycles
+		events += r.Procs[i].HandlerEvents
+	}
+	return cycles, events
+}
+
+// LockHolds returns total line-lock hold cycles and acquisition count
+// across processors (zero under Base-Shasta).
+func (r *Run) LockHolds() (cycles, acquires int64) {
+	for i := range r.Procs {
+		cycles += r.Procs[i].LockHoldCycles
+		acquires += r.Procs[i].LockAcquires
+	}
+	return cycles, acquires
 }
 
 // TimeBy returns the total cycles in one breakdown category summed across

@@ -47,6 +47,7 @@ import (
 	"fmt"
 
 	"repro/internal/memory"
+	"repro/internal/obsv"
 	"repro/internal/protocol"
 	"repro/internal/stats"
 )
@@ -90,6 +91,33 @@ type WriterTracer = protocol.WriterTracer
 
 // CollectorTracer records trace events in memory.
 type CollectorTracer = protocol.CollectorTracer
+
+// TraceSchemaVersion is the version of the JSONL trace schema (see
+// OBSERVABILITY.md).
+const TraceSchemaVersion = protocol.TraceSchemaVersion
+
+// JSONLSink streams trace events to JSONL trace files with buffering and
+// optional rotation; build one with NewTraceSink and attach it with
+// Cluster.SetTracer.
+type JSONLSink = obsv.JSONLSink
+
+// SinkOptions configure a JSONLSink (rotation threshold, buffer size).
+type SinkOptions = obsv.SinkOptions
+
+// TraceFilter forwards only matching events (by processor, op, block range)
+// to another tracer, optionally sampling 1-in-N.
+type TraceFilter = obsv.Filter
+
+// BlockRange is an inclusive block range for TraceFilter.
+type BlockRange = obsv.BlockRange
+
+// Metrics is a frozen counter snapshot of a run (see Cluster.Metrics).
+type Metrics = obsv.Snapshot
+
+// NewTraceSink opens a JSONL trace sink writing to path.
+func NewTraceSink(path string, opts SinkOptions) (*JSONLSink, error) {
+	return obsv.NewJSONLSink(path, opts)
+}
 
 // FlagWord is the invalid-flag bit pattern Shasta stores into invalidated
 // lines; application data that equals it triggers (correctly handled)
@@ -256,3 +284,9 @@ func (c *Cluster) Stats() *Stats { return c.sys.Stats() }
 
 // SetTracer attaches a protocol tracer (nil detaches); call before Run.
 func (c *Cluster) SetTracer(tr Tracer) { c.sys.SetTracer(tr) }
+
+// Metrics freezes the cluster's counters — protocol statistics, interconnect
+// queueing, handler occupancy, lock hold times — into a snapshot that
+// serializes to the deterministic shasta-metrics JSON document (see
+// OBSERVABILITY.md). Call after Run.
+func (c *Cluster) Metrics() *Metrics { return obsv.Snap(c.sys) }
