@@ -7,6 +7,7 @@ check:
 	go vet ./...
 	go build ./...
 	go test -race ./internal/protocol/ ./internal/sim/
+	go test ./internal/stats/ ./internal/obsv/ ./cmd/shastatrace/
 
 test:
 	go build ./... && go test ./...

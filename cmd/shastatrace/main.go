@@ -7,16 +7,30 @@
 //	shastatrace filter [-p procs] [-op ops] [-blk lo-hi,...] [-sample N] <trace.jsonl>...
 //	shastatrace timeline <block> <trace.jsonl>...
 //	shastatrace diff <a.jsonl> <b.jsonl>
+//	shastatrace breakdown <metrics.json | trace.jsonl>...
+//	shastatrace hist <metrics.json | trace.jsonl>...
+//	shastatrace critpath <trace.jsonl>...
+//	shastatrace export-chrome <trace.jsonl>...
+//	shastatrace check <trace.jsonl>...
 //
 // Multiple trace files are read in order and concatenated, so rotated
 // segments (trace.jsonl trace.1.jsonl ...) can be passed together.
-// summarize and diff produce deterministic output: two runs of the same
-// program and configuration summarize byte-identically.
+// breakdown and hist accept either document kind: a metrics snapshot gives
+// the exact cycle attribution, a bare trace a trace-derived approximation.
+// All analysis output is deterministic: two runs of the same program and
+// configuration summarize, profile and export byte-identically.
+//
+// Exit status: 0 on success; 1 when an analysis found a difference or an
+// invariant violation (diff on unequal traces, check on a bad trace); 2 on
+// usage, I/O or schema errors.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -25,52 +39,104 @@ import (
 	"repro/internal/protocol"
 )
 
-func usage() {
-	fmt.Fprintf(os.Stderr, `usage:
+const usageText = `usage:
   shastatrace summarize <trace.jsonl>...
   shastatrace filter [-p procs] [-op ops] [-blk lo-hi,...] [-sample N] <trace.jsonl>...
   shastatrace timeline <block> <trace.jsonl>...
   shastatrace diff <a.jsonl> <b.jsonl>
-`)
-	os.Exit(2)
-}
+  shastatrace breakdown <metrics.json | trace.jsonl>...
+  shastatrace hist <metrics.json | trace.jsonl>...
+  shastatrace critpath <trace.jsonl>...
+  shastatrace export-chrome <trace.jsonl>...
+  shastatrace check <trace.jsonl>...
 
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "shastatrace: %v\n", err)
-	os.Exit(1)
-}
+exit status: 0 success; 1 difference or invariant violation found;
+2 usage, I/O or schema error
+`
+
+// usageError aborts a subcommand with exit status 2; any other error also
+// maps to 2 (I/O and schema problems). Analyses that complete but find a
+// difference or violation return exit status 1 from their cmd function.
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return e.msg }
 
 // readTraces reads and concatenates the events of all listed trace files.
-func readTraces(paths []string) []protocol.TraceEvent {
+func readTraces(paths []string) ([]protocol.TraceEvent, error) {
 	var all []protocol.TraceEvent
 	for _, path := range paths {
 		f, err := os.Open(path)
 		if err != nil {
-			fatal(err)
+			return nil, err
 		}
 		_, events, err := obsv.ReadTrace(f)
 		f.Close()
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", path, err))
+			return nil, fmt.Errorf("%s: %w", path, err)
 		}
 		all = append(all, events...)
 	}
-	return all
+	return all, nil
 }
 
-func parseIntSet(s string) map[int]bool {
+// document is a parsed input file of either observability format: exactly
+// one of snap and events is set.
+type document struct {
+	snap   *obsv.Snapshot
+	events []protocol.TraceEvent
+}
+
+// readDoc opens a file and auto-detects its format by the schema field of
+// its first JSON value: a shasta-metrics snapshot or a shasta-trace JSONL
+// stream.
+func readDoc(path string) (document, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return document{}, err
+	}
+	var head struct {
+		Schema string `json:"schema"`
+	}
+	if err := firstJSON(b, &head); err != nil {
+		return document{}, fmt.Errorf("%s: %w", path, err)
+	}
+	switch head.Schema {
+	case obsv.MetricsSchema:
+		s, err := obsv.ReadSnapshot(bytes.NewReader(b))
+		if err != nil {
+			return document{}, fmt.Errorf("%s: %w", path, err)
+		}
+		return document{snap: s}, nil
+	case obsv.TraceSchema:
+		_, events, err := obsv.ReadTrace(bytes.NewReader(b))
+		if err != nil {
+			return document{}, fmt.Errorf("%s: %w", path, err)
+		}
+		return document{events: events}, nil
+	}
+	return document{}, fmt.Errorf("%s: schema %q is neither %s nor %s",
+		path, head.Schema, obsv.MetricsSchema, obsv.TraceSchema)
+}
+
+// firstJSON decodes the first JSON value of a file: the header line of a
+// JSONL trace, or the whole object of a metrics document.
+func firstJSON(b []byte, v any) error {
+	return json.NewDecoder(bytes.NewReader(b)).Decode(v)
+}
+
+func parseIntSet(s string) (map[int]bool, error) {
 	if s == "" {
-		return nil
+		return nil, nil
 	}
 	set := map[int]bool{}
 	for _, part := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {
-			fatal(fmt.Errorf("bad processor list %q: %w", s, err))
+			return nil, usageError{fmt.Sprintf("bad processor list %q: %v", s, err)}
 		}
 		set[n] = true
 	}
-	return set
+	return set, nil
 }
 
 func parseOpSet(s string) map[string]bool {
@@ -84,9 +150,9 @@ func parseOpSet(s string) map[string]bool {
 	return set
 }
 
-func parseRanges(s string) []obsv.BlockRange {
+func parseRanges(s string) ([]obsv.BlockRange, error) {
 	if s == "" {
-		return nil
+		return nil, nil
 	}
 	var ranges []obsv.BlockRange
 	for _, part := range strings.Split(s, ",") {
@@ -95,99 +161,275 @@ func parseRanges(s string) []obsv.BlockRange {
 		r := obsv.BlockRange{}
 		var err error
 		if r.Lo, err = strconv.Atoi(lo); err != nil {
-			fatal(fmt.Errorf("bad block range %q: %w", part, err))
+			return nil, usageError{fmt.Sprintf("bad block range %q: %v", part, err)}
 		}
 		if found {
 			if r.Hi, err = strconv.Atoi(hi); err != nil {
-				fatal(fmt.Errorf("bad block range %q: %w", part, err))
+				return nil, usageError{fmt.Sprintf("bad block range %q: %v", part, err)}
 			}
 		} else {
 			r.Hi = r.Lo
 		}
 		ranges = append(ranges, r)
 	}
-	return ranges
+	return ranges, nil
 }
 
-func cmdSummarize(args []string) {
+func cmdSummarize(args []string, stdout io.Writer) (int, error) {
 	if len(args) == 0 {
-		usage()
+		return 2, usageError{"summarize needs at least one trace file"}
 	}
-	fmt.Print(obsv.Summarize(readTraces(args)).Format())
+	events, err := readTraces(args)
+	if err != nil {
+		return 2, err
+	}
+	fmt.Fprint(stdout, obsv.Summarize(events).Format())
+	return 0, nil
 }
 
-func cmdFilter(args []string) {
-	fs := flag.NewFlagSet("filter", flag.ExitOnError)
+func cmdFilter(args []string, stdout, stderr io.Writer) (int, error) {
+	fs := flag.NewFlagSet("filter", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	procs := fs.String("p", "", "comma-separated processor IDs to keep")
 	ops := fs.String("op", "", "comma-separated event kinds to keep (see protocol.TraceOps)")
 	blocks := fs.String("blk", "", "comma-separated block base lines or lo-hi ranges to keep")
 	sample := fs.Int("sample", 0, "keep every Nth matching event")
-	fs.Parse(args)
-	if fs.NArg() == 0 {
-		usage()
+	if err := fs.Parse(args); err != nil {
+		return 2, usageError{err.Error()}
 	}
-	out := os.Stdout
+	if fs.NArg() == 0 {
+		return 2, usageError{"filter needs at least one trace file"}
+	}
+	procSet, err := parseIntSet(*procs)
+	if err != nil {
+		return 2, err
+	}
+	ranges, err := parseRanges(*blocks)
+	if err != nil {
+		return 2, err
+	}
+	events, err := readTraces(fs.Args())
+	if err != nil {
+		return 2, err
+	}
+	var werr error
 	f := &obsv.Filter{
 		Next: protocol.TracerFunc(func(e protocol.TraceEvent) {
-			if err := obsv.WriteEvent(out, e); err != nil {
-				fatal(err)
+			if err := obsv.WriteEvent(stdout, e); err != nil && werr == nil {
+				werr = err
 			}
 		}),
-		Procs:  parseIntSet(*procs),
+		Procs:  procSet,
 		Ops:    parseOpSet(*ops),
-		Blocks: parseRanges(*blocks),
+		Blocks: ranges,
 		Sample: *sample,
 	}
-	events := readTraces(fs.Args())
-	if err := obsv.WriteHeader(out); err != nil {
-		fatal(err)
+	if err := obsv.WriteHeader(stdout); err != nil {
+		return 2, err
 	}
 	for _, e := range events {
 		f.Event(e)
 	}
+	if werr != nil {
+		return 2, werr
+	}
+	return 0, nil
 }
 
-func cmdTimeline(args []string) {
+func cmdTimeline(args []string, stdout io.Writer) (int, error) {
 	if len(args) < 2 {
-		usage()
+		return 2, usageError{"timeline needs a block and at least one trace file"}
 	}
 	block, err := strconv.Atoi(args[0])
 	if err != nil {
-		fatal(fmt.Errorf("bad block %q: %w", args[0], err))
+		return 2, usageError{fmt.Sprintf("bad block %q: %v", args[0], err)}
 	}
-	fmt.Print(obsv.Timeline(readTraces(args[1:]), block))
+	events, err := readTraces(args[1:])
+	if err != nil {
+		return 2, err
+	}
+	fmt.Fprint(stdout, obsv.Timeline(events, block))
+	return 0, nil
 }
 
-func cmdDiff(args []string) {
+func cmdDiff(args []string, stdout io.Writer) (int, error) {
 	if len(args) != 2 {
-		usage()
+		return 2, usageError{"diff needs exactly two trace files"}
 	}
-	a := obsv.Summarize(readTraces(args[:1]))
-	b := obsv.Summarize(readTraces(args[1:]))
-	d, equal := obsv.Diff(a, b)
+	ea, err := readTraces(args[:1])
+	if err != nil {
+		return 2, err
+	}
+	eb, err := readTraces(args[1:])
+	if err != nil {
+		return 2, err
+	}
+	d, equal := obsv.Diff(obsv.Summarize(ea), obsv.Summarize(eb))
 	if equal {
-		fmt.Println("traces summarize identically")
-		return
+		fmt.Fprintln(stdout, "traces summarize identically")
+		return 0, nil
 	}
-	fmt.Print(d)
-	os.Exit(1)
+	fmt.Fprint(stdout, d)
+	return 1, nil
+}
+
+// cmdBreakdown renders the execution-time profile: exact per-processor cycle
+// attribution from a metrics snapshot, or an approximate activity view from
+// a bare trace.
+func cmdBreakdown(args []string, stdout io.Writer) (int, error) {
+	if len(args) == 0 {
+		return 2, usageError{"breakdown needs a metrics or trace file"}
+	}
+	doc, events, code, err := gatherDocs(args)
+	if err != nil {
+		return code, err
+	}
+	if doc != nil {
+		if len(doc.Breakdown) == 0 {
+			return 2, fmt.Errorf("metrics document has no breakdown section (pre-profiler snapshot?)")
+		}
+		fmt.Fprint(stdout, obsv.FormatBreakdown(doc))
+		return 0, nil
+	}
+	fmt.Fprint(stdout, obsv.TraceBreakdown(events))
+	return 0, nil
+}
+
+// cmdHist renders miss-latency histograms: the exact kind-and-distance
+// histograms of a metrics snapshot, or miss-to-install latencies recovered
+// from a bare trace.
+func cmdHist(args []string, stdout io.Writer) (int, error) {
+	if len(args) == 0 {
+		return 2, usageError{"hist needs a metrics or trace file"}
+	}
+	doc, events, code, err := gatherDocs(args)
+	if err != nil {
+		return code, err
+	}
+	if doc != nil {
+		if len(doc.Histograms) == 0 {
+			return 2, fmt.Errorf("metrics document has no histograms section (pre-profiler snapshot?)")
+		}
+		fmt.Fprint(stdout, obsv.FormatHistograms(doc.Histograms))
+		return 0, nil
+	}
+	hists, unmatched := obsv.TraceHistograms(events)
+	fmt.Fprint(stdout, obsv.FormatHistograms(hists))
+	if unmatched > 0 {
+		fmt.Fprintf(stdout, "note: %d misses never installed (merged requests or truncated trace)\n", unmatched)
+	}
+	return 0, nil
+}
+
+// gatherDocs reads the argument files for breakdown/hist: either a single
+// metrics snapshot, or one or more trace segments concatenated.
+func gatherDocs(args []string) (*obsv.Snapshot, []protocol.TraceEvent, int, error) {
+	first, err := readDoc(args[0])
+	if err != nil {
+		return nil, nil, 2, err
+	}
+	if first.snap != nil {
+		if len(args) > 1 {
+			return nil, nil, 2, usageError{"a metrics document cannot be concatenated with other files"}
+		}
+		return first.snap, nil, 0, nil
+	}
+	events := first.events
+	if len(args) > 1 {
+		rest, err := readTraces(args[1:])
+		if err != nil {
+			return nil, nil, 2, err
+		}
+		events = append(events, rest...)
+	}
+	return nil, events, 0, nil
+}
+
+func cmdCritPath(args []string, stdout io.Writer) (int, error) {
+	if len(args) == 0 {
+		return 2, usageError{"critpath needs at least one trace file"}
+	}
+	events, err := readTraces(args)
+	if err != nil {
+		return 2, err
+	}
+	c := obsv.BuildCausal(events)
+	fmt.Fprint(stdout, c.CriticalPath().Format(c))
+	return 0, nil
+}
+
+func cmdExportChrome(args []string, stdout io.Writer) (int, error) {
+	if len(args) == 0 {
+		return 2, usageError{"export-chrome needs at least one trace file"}
+	}
+	events, err := readTraces(args)
+	if err != nil {
+		return 2, err
+	}
+	if err := obsv.ExportChrome(events, stdout); err != nil {
+		return 2, err
+	}
+	return 0, nil
+}
+
+func cmdCheck(args []string, stdout io.Writer) (int, error) {
+	if len(args) == 0 {
+		return 2, usageError{"check needs at least one trace file"}
+	}
+	events, err := readTraces(args)
+	if err != nil {
+		return 2, err
+	}
+	c := obsv.CheckTrace(events)
+	fmt.Fprint(stdout, c.Report())
+	if len(c.Violations()) > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// run dispatches a full command line (without the program name) and returns
+// the process exit status, writing all output to the given streams.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		fmt.Fprint(stderr, usageText)
+		return 2
+	}
+	cmd, rest := args[0], args[1:]
+	var code int
+	var err error
+	switch cmd {
+	case "summarize":
+		code, err = cmdSummarize(rest, stdout)
+	case "filter":
+		code, err = cmdFilter(rest, stdout, stderr)
+	case "timeline":
+		code, err = cmdTimeline(rest, stdout)
+	case "diff":
+		code, err = cmdDiff(rest, stdout)
+	case "breakdown":
+		code, err = cmdBreakdown(rest, stdout)
+	case "hist":
+		code, err = cmdHist(rest, stdout)
+	case "critpath":
+		code, err = cmdCritPath(rest, stdout)
+	case "export-chrome":
+		code, err = cmdExportChrome(rest, stdout)
+	case "check":
+		code, err = cmdCheck(rest, stdout)
+	default:
+		fmt.Fprint(stderr, usageText)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "shastatrace: %v\n", err)
+		if _, isUsage := err.(usageError); isUsage {
+			fmt.Fprint(stderr, usageText)
+		}
+	}
+	return code
 }
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-	}
-	cmd, args := os.Args[1], os.Args[2:]
-	switch cmd {
-	case "summarize":
-		cmdSummarize(args)
-	case "filter":
-		cmdFilter(args)
-	case "timeline":
-		cmdTimeline(args)
-	case "diff":
-		cmdDiff(args)
-	default:
-		usage()
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -1,0 +1,232 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/obsv"
+	"repro/internal/protocol"
+)
+
+// -update regenerates the committed fixtures and golden outputs from a
+// fresh deterministic run: go test ./cmd/shastatrace -update
+var update = flag.Bool("update", false, "rewrite testdata fixtures and golden files")
+
+// fixtureRun is the fixed workload behind the committed fixtures: private
+// stores, a barrier, a lock-protected increment of one contended block, a
+// final barrier — enough traffic to exercise every analysis.
+func fixtureRun(tr shasta.Tracer) *shasta.Cluster {
+	cluster := shasta.MustCluster(shasta.Config{Procs: 8, Clustering: 4})
+	arr := cluster.Alloc(1024, 64)
+	lock := cluster.AllocLock()
+	cluster.SetTracer(tr)
+	cluster.Run(func(p *shasta.Proc) {
+		p.StoreF64(arr+shasta.Addr(p.ID()*8), float64(p.ID()))
+		p.Barrier()
+		p.LockAcquire(lock)
+		p.StoreF64(arr+512, p.LoadF64(arr+512)+1)
+		p.LockRelease(lock)
+		p.Barrier()
+	})
+	return cluster
+}
+
+func writeTrace(t *testing.T, path string, events []protocol.TraceEvent) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := obsv.WriteHeader(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if err := obsv.WriteEvent(&buf, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// regenFixtures rewrites the committed input fixtures:
+//
+//	small.jsonl    full trace of the fixture run
+//	bench.json     metrics snapshot of the same run
+//	filtered.jsonl the trace filtered to its busiest block (a gapped trace)
+//	corrupt.jsonl  the trace with a DataReply send removed and seqs
+//	               renumbered — an invariant violation check must catch
+func regenFixtures(t *testing.T) {
+	t.Helper()
+	col := &shasta.CollectorTracer{}
+	cluster := fixtureRun(col)
+	writeTrace(t, "testdata/small.jsonl", col.Events)
+
+	var mbuf bytes.Buffer
+	if err := cluster.Metrics().WriteJSON(&mbuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("testdata/bench.json", mbuf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	byBlk := map[int]int{}
+	for _, e := range col.Events {
+		if e.BaseLine >= 0 {
+			byBlk[e.BaseLine]++
+		}
+	}
+	busiest, n := -1, 0
+	for blk, c := range byBlk {
+		if c > n {
+			busiest, n = blk, c
+		}
+	}
+	var filtered []protocol.TraceEvent
+	for _, e := range col.Events {
+		if e.BaseLine == busiest {
+			filtered = append(filtered, e)
+		}
+	}
+	writeTrace(t, "testdata/filtered.jsonl", filtered)
+
+	var corrupt []protocol.TraceEvent
+	dropped := false
+	for _, e := range col.Events {
+		if !dropped && e.Op == "send" && e.Msg == "DataReply" {
+			dropped = true
+			continue
+		}
+		corrupt = append(corrupt, e)
+	}
+	if !dropped {
+		t.Fatal("fixture run produced no DataReply send")
+	}
+	for i := range corrupt {
+		corrupt[i].Seq = uint64(i + 1) // close the gap: the anomaly is the orphan handle
+	}
+	writeTrace(t, "testdata/corrupt.jsonl", corrupt)
+}
+
+func TestGolden(t *testing.T) {
+	if *update {
+		regenFixtures(t)
+	}
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+	}{
+		{"summarize", []string{"summarize", "testdata/small.jsonl"}, 0},
+		{"timeline", []string{"timeline", "8", "testdata/small.jsonl"}, 0},
+		{"diff-equal", []string{"diff", "testdata/small.jsonl", "testdata/small.jsonl"}, 0},
+		{"diff-unequal", []string{"diff", "testdata/small.jsonl", "testdata/filtered.jsonl"}, 1},
+		{"breakdown-metrics", []string{"breakdown", "testdata/bench.json"}, 0},
+		{"breakdown-trace", []string{"breakdown", "testdata/small.jsonl"}, 0},
+		{"hist-metrics", []string{"hist", "testdata/bench.json"}, 0},
+		{"hist-trace", []string{"hist", "testdata/small.jsonl"}, 0},
+		{"critpath", []string{"critpath", "testdata/small.jsonl"}, 0},
+		{"critpath-gapped", []string{"critpath", "testdata/filtered.jsonl"}, 0},
+		{"check-clean", []string{"check", "testdata/small.jsonl"}, 0},
+		{"check-corrupt", []string{"check", "testdata/corrupt.jsonl"}, 1},
+		{"check-gapped", []string{"check", "testdata/filtered.jsonl"}, 0},
+		{"filter", []string{"filter", "-p", "4", "-op", "send,handle", "testdata/small.jsonl"}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Fatalf("exit code %d, want %d; stderr:\n%s", code, tc.wantCode, stderr.String())
+			}
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if !bytes.Equal(stdout.Bytes(), want) {
+				t.Errorf("output differs from %s:\n--- got ---\n%s--- want ---\n%s",
+					golden, stdout.String(), want)
+			}
+		})
+	}
+}
+
+func TestExportChromeFixture(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"export-chrome", "testdata/small.jsonl"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d; stderr: %s", code, stderr.String())
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(stdout.Bytes(), &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(out) == 0 {
+		t.Fatal("empty export")
+	}
+}
+
+func TestCheckReportsCorruption(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"check", "testdata/corrupt.jsonl"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	if !strings.Contains(stdout.String(), "FAIL") ||
+		!strings.Contains(stdout.String(), "handle-has-send") {
+		t.Fatalf("report:\n%s", stdout.String())
+	}
+}
+
+// TestExitCodes pins the documented contract: 2 for usage/I-O/schema
+// problems, 1 only for analyses that found a difference or violation.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no-args", nil, 2},
+		{"unknown-cmd", []string{"frobnicate"}, 2},
+		{"summarize-no-files", []string{"summarize"}, 2},
+		{"missing-file", []string{"summarize", "testdata/nope.jsonl"}, 2},
+		{"wrong-schema", []string{"summarize", "testdata/bench.json"}, 2},
+		{"breakdown-wrong-schema", []string{"breakdown", "main.go"}, 2},
+		{"timeline-bad-block", []string{"timeline", "x", "testdata/small.jsonl"}, 2},
+		{"filter-bad-flag", []string{"filter", "-sample", "x", "testdata/small.jsonl"}, 2},
+		{"diff-one-file", []string{"diff", "testdata/small.jsonl"}, 2},
+		{"mixed-metrics-trace", []string{"hist", "testdata/bench.json", "testdata/small.jsonl"}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != tc.want {
+				t.Fatalf("exit code %d, want %d; stderr:\n%s", code, tc.want, stderr.String())
+			}
+			if tc.want == 2 && stderr.Len() == 0 {
+				t.Fatal("usage/schema error produced no stderr diagnostics")
+			}
+		})
+	}
+}
+
+// TestUsageDocumentsExitCodes keeps the usage text honest about the exit
+// status contract.
+func TestUsageDocumentsExitCodes(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	run(nil, &stdout, &stderr)
+	for _, want := range []string{"exit status", "check", "critpath", "export-chrome", "breakdown", "hist"} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Errorf("usage text missing %q", want)
+		}
+	}
+}

@@ -43,6 +43,7 @@ func ExampleWriterTracer() {
 	// p0 send DataReply
 	// p4 handle DataReply
 	// p4 install -
+	// p4 privup -
 }
 
 // ExampleCollectorTracer records events in memory for programmatic
@@ -58,7 +59,7 @@ func ExampleCollectorTracer() {
 	fmt.Println("misses:", counts["miss"])
 	fmt.Println("installs:", counts["install"])
 	// Output:
-	// events: 121
+	// events: 122
 	// misses: 1
 	// installs: 1
 }

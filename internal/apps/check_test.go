@@ -1,0 +1,45 @@
+package apps
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/obsv"
+)
+
+// TestCheckerAndBreakdownAllApps is the profiler's end-to-end acceptance
+// gate: every application's SMP-Shasta trace replays through the invariant
+// checker with zero violations, and its measured breakdown sums exactly to
+// the parallel time on every processor.
+func TestCheckerAndBreakdownAllApps(t *testing.T) {
+	for _, name := range Names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			chk := obsv.NewChecker()
+			r, err := ExecuteObserved(Registry[name](1), shasta.Config{Procs: 8, Clustering: 4}, false, chk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v := chk.Violations(); len(v) != 0 {
+				t.Fatalf("invariant violations:\n%s", chk.Report())
+			}
+			if chk.Gapped() {
+				t.Fatal("live trace reported as gapped")
+			}
+			m := r.Metrics
+			if len(m.Breakdown) != 8 {
+				t.Fatalf("%d breakdown entries, want 8", len(m.Breakdown))
+			}
+			for _, e := range m.Breakdown {
+				sum := e.Task + e.Read + e.Write + e.Sync + e.Message + e.Other + e.Idle
+				if sum != e.Total || e.Total != m.Cycles {
+					t.Errorf("p%d: categories sum to %d, total %d, parallel time %d",
+						e.Proc, sum, e.Total, m.Cycles)
+				}
+			}
+			if len(m.Histograms) == 0 {
+				t.Error("no miss-latency histograms recorded")
+			}
+		})
+	}
+}

@@ -66,6 +66,7 @@ var Experiments = []Experiment{
 	{"micro", "Read latency vs number of downgrades (Section 4.4)", Micro},
 	{"anl", "SMP-Shasta vs hardware-coherent execution on one SMP (Section 4.3)", ANL},
 	{"ablate", "Design-choice ablations: line size, shared directory, fast sync, broadcast downgrades", Ablate},
+	{"profile", "Per-processor execution-time profile, measured breakdown at 8 processors", Profile},
 }
 
 // ByID returns the experiment with the given ID.

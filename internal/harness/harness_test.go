@@ -10,7 +10,7 @@ import (
 
 func TestExperimentRegistry(t *testing.T) {
 	wantIDs := []string{"table1", "table2", "table3", "fig3", "fig4", "fig5",
-		"fig6", "fig7", "fig8", "micro", "anl", "ablate"}
+		"fig6", "fig7", "fig8", "micro", "anl", "ablate", "profile"}
 	if len(Experiments) != len(wantIDs) {
 		t.Fatalf("have %d experiments, want %d", len(Experiments), len(wantIDs))
 	}
@@ -84,6 +84,21 @@ func TestFig8SingleApp(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "Water-Nsq") {
 		t.Fatalf("report missing app:\n%s", buf.String())
+	}
+}
+
+// TestProfileSingleApp checks the per-processor measured breakdown report:
+// eight rows per app, each with the exact parallel time in the last column.
+func TestProfileSingleApp(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Profile(Options{Scale: 1, Apps: []string{"Volrend"}}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Volrend @8p C4", "dgrade*%", "p0", "p7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -1,0 +1,89 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/protocol"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON format (the
+// "JSON Array Format" consumed by Perfetto and chrome://tracing). Timestamps
+// are microseconds; the simulator's 300 MHz virtual clock converts at 300
+// cycles per microsecond.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	ID   int            `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+const chromeCyclesPerMicro = 300.0
+
+// ExportChrome writes a trace as Chrome trace-event JSON: one track (tid)
+// per processor within a single process, an instant event per trace event,
+// and a flow arrow for every send->handle message edge so Perfetto draws the
+// protocol's causality across tracks. Deterministic for identical traces.
+func ExportChrome(events []protocol.TraceEvent, w io.Writer) error {
+	c := BuildCausal(events)
+	procs := map[int]bool{}
+	for _, e := range events {
+		procs[e.Proc] = true
+	}
+	out := make([]chromeEvent, 0, 2*len(events))
+	for p := range procs {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: p,
+			Args: map[string]any{"name": fmt.Sprintf("p%d", p)},
+		})
+	}
+	// Map iteration order is random; keep the metadata deterministic.
+	sortChromeMeta(out)
+	handleOf := map[int]int{}
+	for h, s := range c.SendOf {
+		handleOf[s] = h
+	}
+	for i, e := range events {
+		name := e.Op
+		if e.Msg != "" {
+			name = e.Op + " " + e.Msg
+		}
+		ts := float64(e.Time) / chromeCyclesPerMicro
+		args := map[string]any{"seq": e.Seq, "blk": e.BaseLine}
+		if e.Detail != "" {
+			args["detail"] = e.Detail
+		}
+		out = append(out, chromeEvent{
+			Name: name, Ph: "i", Ts: ts, Pid: 0, Tid: e.Proc, S: "t", Args: args,
+		})
+		// Flow arrows: "s" at the send, "f" (binding to the enclosing
+		// instant) at the handle, keyed by the send's event index.
+		if _, ok := handleOf[i]; ok {
+			out = append(out, chromeEvent{
+				Name: "msg " + e.Msg, Ph: "s", Ts: ts, Pid: 0, Tid: e.Proc, ID: i + 1,
+			})
+		}
+		if s, ok := c.SendOf[i]; ok {
+			out = append(out, chromeEvent{
+				Name: "msg " + e.Msg, Ph: "f", BP: "e", Ts: ts, Pid: 0, Tid: e.Proc, ID: s + 1,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// sortChromeMeta orders the leading thread_name metadata events by tid.
+func sortChromeMeta(evs []chromeEvent) {
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && evs[j-1].Tid > evs[j].Tid; j-- {
+			evs[j-1], evs[j] = evs[j], evs[j-1]
+		}
+	}
+}

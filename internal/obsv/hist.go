@@ -1,0 +1,189 @@
+package obsv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/protocol"
+	"repro/internal/stats"
+)
+
+// trimHistogram converts a fixed bucket array into the wire Histogram,
+// dropping trailing zero buckets.
+func trimHistogram(buckets [stats.NumLatencyBuckets]int64, count int64) Histogram {
+	last := -1
+	for b, n := range buckets {
+		if n != 0 {
+			last = b
+		}
+	}
+	return Histogram{Buckets: append([]int64(nil), buckets[:last+1]...), Count: count}
+}
+
+// bucketLabel renders bucket b's cycle range for reports.
+func bucketLabel(b int) string {
+	lo, hi := stats.BucketRange(b)
+	if hi < 0 {
+		return fmt.Sprintf(">=%d", lo)
+	}
+	if lo == hi-1 {
+		return fmt.Sprintf("%d", lo)
+	}
+	return fmt.Sprintf("%d-%d", lo, hi-1)
+}
+
+// FormatHistograms renders a histogram map deterministically: keys sorted,
+// one line per non-empty bucket with its cycle range, count and a proportional
+// bar. Identical runs format byte-identically.
+func FormatHistograms(hists map[string]Histogram) string {
+	var b strings.Builder
+	for _, key := range stats.SortedKeys(hists) {
+		h := hists[key]
+		fmt.Fprintf(&b, "%s: %d samples\n", key, h.Count)
+		var peak int64
+		for _, n := range h.Buckets {
+			if n > peak {
+				peak = n
+			}
+		}
+		for bi, n := range h.Buckets {
+			if n == 0 {
+				continue
+			}
+			bar := ""
+			if peak > 0 {
+				bar = strings.Repeat("#", int(1+n*39/peak))
+			}
+			fmt.Fprintf(&b, "  %16s  %8d  %s\n", bucketLabel(bi), n, bar)
+		}
+	}
+	return b.String()
+}
+
+// TraceHistograms derives miss-latency histograms from a trace alone, by
+// pairing each miss event with the first later install event of the same
+// processor and block and bucketing the elapsed virtual time. The keys are
+// the install grant kinds ("shared", "exclusive", "upgrade"); home-node
+// distance is not recoverable from the trace, so unlike the exact
+// Snapshot.Histograms there is no local/remote split. Misses that never
+// install (e.g. merged or superseded requests, or a truncated trace) are
+// reported in the returned unmatched count.
+func TraceHistograms(events []protocol.TraceEvent) (map[string]Histogram, int) {
+	type pb struct{ proc, blk int }
+	pending := map[pb][]protocol.TraceEvent{}
+	var counts = map[string][stats.NumLatencyBuckets]int64{}
+	var totals = map[string]int64{}
+	unmatched := 0
+	for _, e := range events {
+		switch e.Op {
+		case "miss":
+			k := pb{e.Proc, e.BaseLine}
+			pending[k] = append(pending[k], e)
+		case "install":
+			k := pb{e.Proc, e.BaseLine}
+			q := pending[k]
+			if len(q) == 0 {
+				continue
+			}
+			m := q[0]
+			if len(q) == 1 {
+				delete(pending, k)
+			} else {
+				pending[k] = q[1:]
+			}
+			kind, _, _ := strings.Cut(e.Detail, " ")
+			if kind == "" {
+				kind = "unknown"
+			}
+			c := counts[kind]
+			c[stats.LatencyBucket(e.Time-m.Time)]++
+			counts[kind] = c
+			totals[kind]++
+		}
+	}
+	for _, q := range pending {
+		unmatched += len(q)
+	}
+	hists := map[string]Histogram{}
+	for kind, c := range counts {
+		hists[kind] = trimHistogram(c, totals[kind])
+	}
+	return hists, unmatched
+}
+
+// FormatBreakdown renders a snapshot's per-processor breakdown as an aligned
+// table: cycles per category, idle slack, the downgrade memo and the exact
+// total. Deterministic for identical snapshots.
+func FormatBreakdown(s *Snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %10s %10s %10s %10s %10s %10s %10s %10s %12s\n",
+		"proc", "task", "read", "write", "sync", "message", "other", "idle", "dgrade*", "total")
+	var tot BreakdownEntry
+	for _, e := range s.Breakdown {
+		fmt.Fprintf(&b, "p%-4d %10d %10d %10d %10d %10d %10d %10d %10d %12d\n",
+			e.Proc, e.Task, e.Read, e.Write, e.Sync, e.Message, e.Other,
+			e.Idle, e.Downgrade, e.Total)
+		tot.Task += e.Task
+		tot.Read += e.Read
+		tot.Write += e.Write
+		tot.Sync += e.Sync
+		tot.Message += e.Message
+		tot.Other += e.Other
+		tot.Idle += e.Idle
+		tot.Downgrade += e.Downgrade
+		tot.Total += e.Total
+	}
+	fmt.Fprintf(&b, "%-5s %10d %10d %10d %10d %10d %10d %10d %10d %12d\n",
+		"sum", tot.Task, tot.Read, tot.Write, tot.Sync, tot.Message, tot.Other,
+		tot.Idle, tot.Downgrade, tot.Total)
+	fmt.Fprintf(&b, "parallel time %d cycles x %d procs; *downgrade overlaps message/stall time\n",
+		s.Cycles, len(s.Breakdown))
+	return b.String()
+}
+
+// TraceBreakdown approximates a per-processor activity profile from a trace
+// alone: for each processor, the span between its first and last event and
+// the number of events per op. It cannot reproduce the exact cycle
+// attribution of the metrics document (use shastatrace breakdown on a
+// BENCH_*.json for that); it exists so a bare trace still yields a rough
+// where-did-time-go view.
+func TraceBreakdown(events []protocol.TraceEvent) string {
+	type span struct {
+		first, last int64
+		byOp        map[string]int
+		n           int
+	}
+	procs := map[int]*span{}
+	for _, e := range events {
+		s := procs[e.Proc]
+		if s == nil {
+			s = &span{first: e.Time, last: e.Time, byOp: map[string]int{}}
+			procs[e.Proc] = s
+		}
+		if e.Time < s.first {
+			s.first = e.Time
+		}
+		if e.Time > s.last {
+			s.last = e.Time
+		}
+		s.byOp[e.Op]++
+		s.n++
+	}
+	ids := make([]int, 0, len(procs))
+	for p := range procs {
+		ids = append(ids, p)
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	b.WriteString("trace-derived activity (approximate; use a metrics snapshot for exact cycles)\n")
+	for _, p := range ids {
+		s := procs[p]
+		fmt.Fprintf(&b, "p%-3d %8d events, active t=%d..%d (%d cycles)\n",
+			p, s.n, s.first, s.last, s.last-s.first)
+		for _, op := range stats.SortedKeys(s.byOp) {
+			fmt.Fprintf(&b, "       %-10s %d\n", op, s.byOp[op])
+		}
+	}
+	return b.String()
+}

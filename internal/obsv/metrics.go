@@ -93,6 +93,36 @@ type ProcMetrics struct {
 	Checks         int64            `json:"checks"`
 }
 
+// BreakdownEntry is one processor's row of the measured execution-time
+// profile (the paper's Figure 4/5 bars, in cycles rather than fractions).
+// The six category fields plus Idle sum exactly to Total, and Total equals
+// the snapshot's Cycles; Downgrade is an overlapping memo (cycles already
+// counted under Message or the enclosing stall category) isolating the
+// SMP-Shasta downgrade machinery. Added in a compatible extension of
+// metrics v1.
+type BreakdownEntry struct {
+	Proc      int   `json:"proc"`
+	Task      int64 `json:"task"`
+	Read      int64 `json:"read"`
+	Write     int64 `json:"write"`
+	Sync      int64 `json:"sync"`
+	Message   int64 `json:"message"`
+	Other     int64 `json:"other"`
+	Idle      int64 `json:"idle"`
+	Downgrade int64 `json:"downgrade"`
+	Total     int64 `json:"total"`
+}
+
+// Histogram is a fixed-bucket latency histogram: Buckets[b] counts samples
+// in [2^(b-1), 2^b) cycles (bucket 0 counts zero-cycle samples), with
+// trailing zero buckets trimmed. The power-of-two buckets make histograms of
+// identical runs byte-identical. Added in a compatible extension of metrics
+// v1.
+type Histogram struct {
+	Buckets []int64 `json:"buckets"`
+	Count   int64   `json:"count"`
+}
+
 // Snapshot is the metrics document: one run's counters frozen at snapshot
 // time. Because the simulator is deterministic and JSON object keys are
 // emitted in sorted order, two runs of the same program and configuration
@@ -108,6 +138,13 @@ type Snapshot struct {
 	Totals  Totals         `json:"totals"`
 	Network NetworkMetrics `json:"network"`
 	Procs   []ProcMetrics  `json:"procs"`
+	// Breakdown is the per-processor execution-time profile of the
+	// measured phase (present when the run completed normally).
+	Breakdown []BreakdownEntry `json:"breakdown,omitempty"`
+	// Histograms maps "<kind>-<local|remote>" (miss request type crossed
+	// with home-node distance, e.g. "read-remote") to miss round-trip
+	// latency histograms; only non-empty histograms appear.
+	Histograms map[string]Histogram `json:"histograms,omitempty"`
 }
 
 func timeByMap(p *stats.Proc) map[string]int64 {
@@ -215,6 +252,34 @@ func Snap(sys *protocol.System) *Snapshot {
 	s.Network.PeakInboxDepth = make([]int, eng.NumProcs())
 	for i := 0; i < eng.NumProcs(); i++ {
 		s.Network.PeakInboxDepth[i] = eng.Proc(i).PeakInboxDepth()
+	}
+
+	for i := range run.Measured {
+		m := &run.Measured[i]
+		s.Breakdown = append(s.Breakdown, BreakdownEntry{
+			Proc:      i,
+			Task:      m.TimeBy[stats.Task],
+			Read:      m.TimeBy[stats.Read],
+			Write:     m.TimeBy[stats.Write],
+			Sync:      m.TimeBy[stats.Sync],
+			Message:   m.TimeBy[stats.Message],
+			Other:     m.TimeBy[stats.Other],
+			Idle:      m.Idle,
+			Downgrade: m.Downgrade,
+			Total:     m.Total(),
+		})
+	}
+	for k := stats.MissKind(0); k < stats.NumMissKinds; k++ {
+		for d, dist := range []string{"local", "remote"} {
+			buckets, count := run.MissLatencyBy(k, d)
+			if count == 0 {
+				continue
+			}
+			if s.Histograms == nil {
+				s.Histograms = map[string]Histogram{}
+			}
+			s.Histograms[fmt.Sprintf("%s-%s", k, dist)] = trimHistogram(buckets, count)
+		}
 	}
 
 	s.Procs = make([]ProcMetrics, len(run.Procs))

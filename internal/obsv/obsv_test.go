@@ -314,4 +314,14 @@ func TestSnapshotDoesNotPerturbRun(t *testing.T) {
 	if o, p := observed.Stats().TotalMessages(), plain.Stats().TotalMessages(); o != p {
 		t.Fatalf("tracing perturbed message counts: %d vs %d", o, p)
 	}
+	// Pin the absolute numbers to the pre-profiler seed: the breakdown
+	// capture, latency histograms and privup tracing must not move the
+	// virtual clock or the protocol's message stream.
+	const seedCycles, seedMessages = 59459, 86
+	if c := observed.Stats().Cycles; c != seedCycles {
+		t.Fatalf("cycles = %d, seed measured %d: profiling changed virtual timing", c, seedCycles)
+	}
+	if m := observed.Stats().TotalMessages(); m != seedMessages {
+		t.Fatalf("messages = %d, seed measured %d: profiling changed the protocol", m, seedMessages)
+	}
 }

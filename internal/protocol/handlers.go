@@ -689,6 +689,14 @@ func (p *Proc) mergeStores(entry *missEntry) {
 	}
 }
 
+// recordMissLatency files one completed miss round trip into the latency
+// histograms, keyed by request type and by whether the block's home is on
+// this processor's own SMP node. It only reads the clock.
+func (p *Proc) recordMissLatency(kind stats.MissKind, base int, issueTime int64) {
+	home := p.sys.homeProc(p.sys.lay.LineAddr(base))
+	p.st.RecordMissLatency(kind, !p.sys.net.SameNode(p.id, home), p.sp.Now()-issueTime)
+}
+
 // handleDataReply installs shared data at the requester.
 func (p *Proc) handleDataReply(m *pmsg) {
 	c := p.sys.cfg.Costs
@@ -713,6 +721,7 @@ func (p *Proc) handleDataReply(m *pmsg) {
 	p.trace("install", "", base, "shared seq=%d hops=%d", m.seq, m.hops)
 	p.st.ReadLatencySum += p.sp.Now() - m.issueTime
 	p.st.ReadLatencyCount++
+	p.recordMissLatency(stats.ReadMiss, base, m.issueTime)
 	var done bool
 	if entry.wantExcl && !entry.upgradeSent {
 		// Stores were merged into a read miss; now that the shared copy
@@ -764,6 +773,7 @@ func (p *Proc) handleDataExclReply(m *pmsg) {
 		p.st.ReadLatencySum += p.sp.Now() - m.issueTime
 		p.st.ReadLatencyCount++
 	}
+	p.recordMissLatency(entry.kind, base, m.issueTime)
 	p.grp.img.SetBlockState(base, memory.Exclusive)
 	if entry.issuer == p.id {
 		p.setPrivBlock(base, memory.Exclusive)
@@ -799,6 +809,7 @@ func (p *Proc) handleUpgradeAck(m *pmsg) {
 	entry.acksExpected = m.acks
 	p.grp.copySeq[base] = m.seq
 	p.trace("install", "", base, "upgrade seq=%d acks=%d", m.seq, m.acks)
+	p.recordMissLatency(stats.UpgradeMiss, base, m.issueTime)
 	p.grp.img.SetBlockState(base, memory.Exclusive)
 	if entry.issuer == p.id {
 		p.setPrivBlock(base, memory.Exclusive)
@@ -973,6 +984,7 @@ func (p *Proc) downgradePriv(base int, target memory.State) {
 func (p *Proc) handleDowngrade(m *pmsg, target memory.State) {
 	c := p.sys.cfg.Costs
 	p.charge(stats.Message, c.DowngradeHandler)
+	p.st.DowngradeCycles += c.DowngradeHandler
 	base := m.baseLine
 	p.lockBlock(base)
 	dg := p.grp.downgrades[base]

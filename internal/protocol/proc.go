@@ -180,11 +180,19 @@ func (p *Proc) privState(li int) memory.State {
 }
 
 // setPrivBlock updates the processor's private state for a block (no-op
-// under Base-Shasta, where the shared table is authoritative).
+// under Base-Shasta, where the shared table is authoritative). Raising the
+// private state emits a privup trace event: private-state upgrades are
+// otherwise invisible in the trace (local hits generate no miss or install
+// event), and the replay invariant checker needs them to know which
+// processors hold a block when a downgrade message targets them.
 func (p *Proc) setPrivBlock(baseLine int, st memory.State) {
-	if p.priv != nil {
-		p.priv.SetBlock(p.sys.lay, baseLine, st)
+	if p.priv == nil {
+		return
 	}
+	if st.Valid() {
+		p.trace("privup", "", baseLine, "to %v", st)
+	}
+	p.priv.SetBlock(p.sys.lay, baseLine, st)
 }
 
 // --- Loads ---
@@ -350,6 +358,8 @@ func (p *Proc) loadMiss(addr memory.Addr, size int) uint64 {
 }
 
 // waitDowngrade stalls until the block's in-progress downgrade completes.
+// The wait is charged to Other as before; the duration is also recorded in
+// the DowngradeCycles memo for the profiler.
 func (p *Proc) waitDowngrade(base int) {
 	dg := p.grp.downgrades[base]
 	if dg == nil {
@@ -359,7 +369,9 @@ func (p *Proc) waitDowngrade(base int) {
 		dg.waiters = make(map[int]bool)
 	}
 	dg.waiters[p.id] = true
+	start := p.sp.Now()
 	p.stallUntil(stats.Other, "downgrade-wait", func() bool { return dg.done })
+	p.st.DowngradeCycles += p.sp.Now() - start
 }
 
 // --- Stores ---

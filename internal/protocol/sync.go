@@ -207,7 +207,10 @@ func (p *Proc) ResetStats() {
 
 // EndMeasured marks the end of the measured parallel phase, so verification
 // code that runs afterwards is excluded from the reported parallel time.
-// Call it from exactly one processor immediately after a barrier.
+// Call it from exactly one processor immediately after a barrier. The
+// per-processor time breakdown is frozen here too (see stats.Run.Measured),
+// so post-measurement verification does not pollute the profile.
 func (p *Proc) EndMeasured() {
 	p.sys.endTime = p.sp.Now()
+	p.sys.stats.CaptureMeasured()
 }

@@ -352,6 +352,7 @@ func (s *System) Run(body func(*Proc)) int64 {
 		end = finish
 	}
 	s.stats.Cycles = end - s.startTime
+	s.stats.SealMeasured()
 	return finish
 }
 

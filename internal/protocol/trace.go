@@ -27,9 +27,11 @@ const TraceSchemaVersion = 1
 //	invalidate  a block's local copy is flag-filled and marked invalid
 //	sync        an application synchronization point (lock, barrier)
 //	batch       the batch miss handler begins fetching a batch's blocks
+//	privup      a processor's private state table entry is raised to a
+//	            valid state (SMP-Shasta only; compatible v1 extension)
 var TraceOps = []string{
 	"send", "handle", "miss", "downgrade", "install", "invalidate",
-	"sync", "batch",
+	"sync", "batch", "privup",
 }
 
 // TraceEvent is one protocol-level event, emitted to a Tracer attached to

@@ -11,6 +11,7 @@ package stats
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 )
@@ -127,6 +128,38 @@ func (c MsgClass) String() string {
 // block downgrade can require (the other processors of a 4-processor node).
 const MaxDowngradeFanout = 3
 
+// NumLatencyBuckets is the number of power-of-two latency histogram buckets.
+// Bucket b counts samples in [2^(b-1), 2^b) cycles (bucket 0 counts
+// zero-cycle samples); the last bucket absorbs everything above 2^26 cycles
+// (~0.22 virtual seconds), far beyond any single miss round trip.
+const NumLatencyBuckets = 28
+
+// LatencyBucket maps a cycle count to its histogram bucket. The buckets are
+// fixed powers of two, so histograms of identical runs are byte-identical
+// regardless of the latency values' spread.
+func LatencyBucket(cycles int64) int {
+	if cycles <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(cycles))
+	if b >= NumLatencyBuckets {
+		b = NumLatencyBuckets - 1
+	}
+	return b
+}
+
+// BucketRange describes bucket b's half-open cycle interval [lo, hi) for
+// report labels; the top bucket's hi is -1 (unbounded).
+func BucketRange(b int) (lo, hi int64) {
+	if b == 0 {
+		return 0, 1
+	}
+	if b == NumLatencyBuckets-1 {
+		return 1 << uint(b-1), -1
+	}
+	return 1 << uint(b-1), 1 << uint(b)
+}
+
 // Proc accumulates the statistics of a single processor.
 type Proc struct {
 	// TimeBy breaks the processor's virtual execution time into the
@@ -188,6 +221,30 @@ type Proc struct {
 	// time breakdown, not counted here.
 	LockHoldCycles int64
 	LockAcquires   int64
+
+	// DowngradeCycles is the virtual time this processor spent on intra-
+	// group downgrades: handling downgrade messages plus stalling on a
+	// downgrade already in progress. It is a memo sub-component — the same
+	// cycles are also charged to the TimeBy categories (message or the
+	// enclosing stall) — reported so the profiler can show how much of the
+	// protocol overhead the SMP-Shasta downgrade machinery accounts for.
+	DowngradeCycles int64
+
+	// MissLatency histograms miss round-trip latency (request issue to
+	// reply installation) by request type and home-node distance:
+	// MissLatency[kind][0] for a home on this processor's own SMP node,
+	// MissLatency[kind][1] for a remote home. Buckets are the fixed
+	// power-of-two ranges of LatencyBucket.
+	MissLatency [NumMissKinds][2][NumLatencyBuckets]int64
+}
+
+// RecordMissLatency adds one miss round trip to the latency histograms.
+func (p *Proc) RecordMissLatency(kind MissKind, remoteHome bool, cycles int64) {
+	d := 0
+	if remoteHome {
+		d = 1
+	}
+	p.MissLatency[kind][d][LatencyBucket(cycles)]++
 }
 
 // AddTime attributes cycles to one breakdown category.
@@ -216,6 +273,90 @@ type Run struct {
 	// CyclesPerMicrosecond converts cycles to wall time (300 for the
 	// paper's 300 MHz processors).
 	CyclesPerMicrosecond int64
+
+	// Measured, when non-nil, holds the per-processor execution-time
+	// breakdown of the measured phase, frozen at the EndMeasured instant
+	// (or at the end of the run) and sealed so each processor's components
+	// sum exactly to Cycles. See CaptureMeasured and SealMeasured.
+	Measured []MeasuredBreakdown
+}
+
+// MeasuredBreakdown is one processor's share of the measured parallel time,
+// partitioned so that the six TimeBy categories plus Idle sum exactly to
+// Run.Cycles. Idle covers the slack between a processor's accounted time and
+// the parallel time — chiefly waiting at the final measured barrier after
+// finishing early. Downgrade is an overlapping memo (see
+// Proc.DowngradeCycles), not part of the sum.
+type MeasuredBreakdown struct {
+	TimeBy    [NumTimeCategories]int64
+	Idle      int64
+	Downgrade int64
+}
+
+// Total returns the partitioned total: the category sum plus idle time.
+func (m *MeasuredBreakdown) Total() int64 {
+	t := m.Idle
+	for _, v := range m.TimeBy {
+		t += v
+	}
+	return t
+}
+
+// CaptureMeasured freezes every processor's accumulated time breakdown at
+// this instant. EndMeasured calls it so verification code running after the
+// measured phase does not leak into the profile; it is idempotent in the
+// sense that SealMeasured only captures if no capture has happened.
+func (r *Run) CaptureMeasured() {
+	r.Measured = make([]MeasuredBreakdown, len(r.Procs))
+	for i := range r.Procs {
+		r.Measured[i] = MeasuredBreakdown{
+			TimeBy:    r.Procs[i].TimeBy,
+			Downgrade: r.Procs[i].DowngradeCycles,
+		}
+	}
+}
+
+// sealOrder is the order categories absorb a (rare) accounting deficit when
+// a processor's captured time exceeds the parallel time: a processor can run
+// slightly ahead of the EndMeasured instant under the simulator's horizon-
+// based run-ahead. The clamp is deterministic, so sealed breakdowns of
+// identical runs stay byte-identical.
+var sealOrder = [NumTimeCategories]TimeCategory{Sync, Read, Write, Message, Other, Task}
+
+// SealMeasured finalizes the measured breakdown against the run's parallel
+// time: capturing now if EndMeasured never did, then assigning each
+// processor's residual (Cycles minus accounted time) to Idle. A negative
+// residual is clamped by deducting the deficit from the categories in
+// sealOrder. After sealing, every processor's TimeBy plus Idle sums exactly
+// to Cycles. System.Run calls this once Cycles is known.
+func (r *Run) SealMeasured() {
+	if r.Measured == nil {
+		r.CaptureMeasured()
+	}
+	for i := range r.Measured {
+		m := &r.Measured[i]
+		residual := r.Cycles
+		for _, v := range m.TimeBy {
+			residual -= v
+		}
+		if residual >= 0 {
+			m.Idle = residual
+			continue
+		}
+		m.Idle = 0
+		deficit := -residual
+		for _, c := range sealOrder {
+			if deficit == 0 {
+				break
+			}
+			take := m.TimeBy[c]
+			if take > deficit {
+				take = deficit
+			}
+			m.TimeBy[c] -= take
+			deficit -= take
+		}
+	}
 }
 
 // NewRun returns a Run with storage for n processors.
@@ -365,6 +506,19 @@ func (r *Run) Reset() {
 		r.Procs[i] = Proc{}
 	}
 	r.Cycles = 0
+	r.Measured = nil
+}
+
+// MissLatencyBy sums the latency histogram of one miss kind and home
+// distance (0 local node, 1 remote) across processors.
+func (r *Run) MissLatencyBy(kind MissKind, dist int) (buckets [NumLatencyBuckets]int64, count int64) {
+	for i := range r.Procs {
+		for b, n := range r.Procs[i].MissLatency[kind][dist] {
+			buckets[b] += n
+			count += n
+		}
+	}
+	return buckets, count
 }
 
 // Summary renders a compact multi-line report of the run, mainly for

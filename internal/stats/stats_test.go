@@ -161,6 +161,111 @@ func TestSortedKeys(t *testing.T) {
 	}
 }
 
+func TestLatencyBucket(t *testing.T) {
+	cases := []struct {
+		cycles int64
+		want   int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {1 << 40, NumLatencyBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := LatencyBucket(c.cycles); got != c.want {
+			t.Errorf("LatencyBucket(%d) = %d, want %d", c.cycles, got, c.want)
+		}
+	}
+	// Every positive latency lands in the bucket whose range contains it.
+	for _, cycles := range []int64{1, 2, 3, 5, 100, 4096, 99999} {
+		b := LatencyBucket(cycles)
+		lo, hi := BucketRange(b)
+		if cycles < lo || (hi >= 0 && cycles >= hi) {
+			t.Errorf("cycles %d in bucket %d [%d,%d)", cycles, b, lo, hi)
+		}
+	}
+	if lo, hi := BucketRange(NumLatencyBuckets - 1); hi != -1 || lo <= 0 {
+		t.Errorf("top bucket range [%d,%d) should be open-ended", lo, hi)
+	}
+}
+
+func TestRecordMissLatency(t *testing.T) {
+	var p Proc
+	p.RecordMissLatency(ReadMiss, false, 100)
+	p.RecordMissLatency(ReadMiss, true, 100)
+	p.RecordMissLatency(ReadMiss, true, 3000)
+	if p.MissLatency[ReadMiss][0][LatencyBucket(100)] != 1 {
+		t.Error("local sample not recorded")
+	}
+	if p.MissLatency[ReadMiss][1][LatencyBucket(100)] != 1 ||
+		p.MissLatency[ReadMiss][1][LatencyBucket(3000)] != 1 {
+		t.Error("remote samples not recorded")
+	}
+	r := NewRun(2)
+	r.Procs[0].RecordMissLatency(UpgradeMiss, true, 50)
+	r.Procs[1].RecordMissLatency(UpgradeMiss, true, 60)
+	buckets, count := r.MissLatencyBy(UpgradeMiss, 1)
+	if count != 2 {
+		t.Fatalf("aggregated count = %d, want 2", count)
+	}
+	var sum int64
+	for _, n := range buckets {
+		sum += n
+	}
+	if sum != 2 {
+		t.Fatalf("aggregated buckets sum to %d, want 2", sum)
+	}
+}
+
+func TestSealMeasured(t *testing.T) {
+	r := NewRun(2)
+	r.Procs[0].AddTime(Task, 700)
+	r.Procs[0].AddTime(Read, 100)
+	r.Procs[1].AddTime(Sync, 200)
+	r.Procs[1].DowngradeCycles = 40
+	r.CaptureMeasured()
+	r.Cycles = 1000
+	r.SealMeasured()
+	if len(r.Measured) != 2 {
+		t.Fatalf("%d measured entries, want 2", len(r.Measured))
+	}
+	if m := r.Measured[0]; m.Idle != 200 || m.Total() != 1000 {
+		t.Fatalf("p0 measured = %+v", m)
+	}
+	if m := r.Measured[1]; m.Idle != 800 || m.Downgrade != 40 || m.Total() != 1000 {
+		t.Fatalf("p1 measured = %+v", m)
+	}
+}
+
+func TestSealMeasuredClampsOvershoot(t *testing.T) {
+	// A processor that ran past the measured end has more attributed time
+	// than Cycles; sealing deducts the overshoot deterministically and the
+	// exact sum still holds.
+	r := NewRun(1)
+	r.Procs[0].AddTime(Task, 600)
+	r.Procs[0].AddTime(Sync, 500)
+	r.CaptureMeasured()
+	r.Cycles = 1000
+	r.SealMeasured()
+	m := r.Measured[0]
+	if m.Total() != 1000 || m.Idle != 0 {
+		t.Fatalf("clamped measured = %+v", m)
+	}
+	if m.TimeBy[Sync] != 400 || m.TimeBy[Task] != 600 {
+		t.Fatalf("deficit not taken from Sync first: %+v", m.TimeBy)
+	}
+}
+
+func TestSealMeasuredWithoutCapture(t *testing.T) {
+	// Runs that never call EndMeasured (no explicit measured phase) still
+	// seal: capture happens implicitly at the end.
+	r := NewRun(1)
+	r.Procs[0].AddTime(Task, 250)
+	r.Cycles = 300
+	r.SealMeasured()
+	if len(r.Measured) != 1 || r.Measured[0].Idle != 50 || r.Measured[0].Total() != 300 {
+		t.Fatalf("implicit capture measured = %+v", r.Measured)
+	}
+}
+
 // Property: aggregation equals the sum of per-processor counters for any
 // random counter assignment.
 func TestQuickAggregation(t *testing.T) {
