@@ -1,5 +1,8 @@
 # Tier-1 gate (see ROADMAP.md): vet + full build + race-mode tests of the
-# engine and protocol core. The full suite (go test ./...) adds the
+# engine and protocol core — once under the default scheduler and once with
+# SIM_FORCE_PARALLEL=1, which reruns the sim suite on the window-based
+# parallel scheduler with per-processor conflict domains (the most
+# aggressive windowing). The full suite (go test ./...) adds the
 # application/harness integration tests, which take ~1 min.
 .PHONY: check test bench
 
@@ -7,6 +10,7 @@ check:
 	go vet ./...
 	go build ./...
 	go test -race ./internal/protocol/ ./internal/sim/
+	SIM_FORCE_PARALLEL=1 go test -race ./internal/sim/
 	go test ./internal/stats/ ./internal/obsv/ ./cmd/shastatrace/
 
 test:

@@ -160,6 +160,33 @@ func BenchmarkANLComparison(b *testing.B) {
 	b.ReportMetric(100*sum/float64(len(apps.Names)), "avg-slower-than-hw-%")
 }
 
+// --- Parallel simulation scheduler (host-side performance; virtual
+// results are bit-identical between schedulers by contract) ---
+
+// BenchmarkSchedulerSerialLU and BenchmarkSchedulerParallelLU run the same
+// LU configuration — 8 processors, clustering 4, i.e. two SMP nodes —
+// under the serial and the conservative window-based parallel scheduler.
+// Comparing their ns/op gives the host speedup of parallel simulation on
+// this machine (≈1x on a single core, more with cores to overlap the
+// nodes on). The parallel benchmark also asserts the bit-identity
+// contract against a serial reference run.
+func BenchmarkSchedulerSerialLU(b *testing.B) {
+	appMetrics(b, "LU", shasta.Config{Procs: 8, Clustering: 4}, false)
+}
+
+func BenchmarkSchedulerParallelLU(b *testing.B) {
+	ref, err := apps.Execute(apps.NewLU(1, false), shasta.Config{Procs: 8, Clustering: 4}, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	par := appMetrics(b, "LU", shasta.Config{Procs: 8, Clustering: 4, Parallel: true}, false)
+	if par.Result.ParallelCycles != ref.Result.ParallelCycles || par.Checksum != ref.Checksum {
+		b.Fatalf("parallel scheduler diverged: cycles %d vs %d, checksum %v vs %v",
+			par.Result.ParallelCycles, ref.Result.ParallelCycles, par.Checksum, ref.Checksum)
+	}
+	b.ReportMetric(float64(par.Result.ParallelCycles), "virtual-cycles")
+}
+
 // --- Ablation benchmarks for the paper's proposed extensions (Section 3.1
 // optimizations the prototype did not yet implement, built here) ---
 

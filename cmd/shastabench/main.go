@@ -4,19 +4,26 @@
 //
 // Usage:
 //
-//	shastabench [-scale N] [-apps a,b,c] [-obsv DIR] [list | all | <experiment>...]
+//	shastabench [-scale N] [-apps a,b,c] [-obsv DIR] [-parallel auto|on|off] [list | all | <experiment>...]
 //
 // Experiments: table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8 micro anl.
 //
 // With -obsv DIR, every application run additionally emits a
 // TRACE_<run>.jsonl protocol trace and a BENCH_<run>.json metrics snapshot
 // into DIR; inspect them with the shastatrace command (see OBSERVABILITY.md).
+//
+// -parallel selects the simulation scheduler: on runs the conservative
+// window-based parallel scheduler, off the serial one, and auto (the
+// default) picks parallel whenever the host has more than one core. The
+// two schedulers produce bit-identical results (the pdes experiment
+// verifies this); the choice only affects host wall-clock time.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -27,8 +34,9 @@ func main() {
 	scale := flag.Int("scale", 1, "problem size scale factor (1 = default experiment inputs)")
 	appsFlag := flag.String("apps", "", "comma-separated application subset (default: the experiment's own set)")
 	obsvDir := flag.String("obsv", "", "directory receiving TRACE_*.jsonl traces and BENCH_*.json metrics per run")
+	parFlag := flag.String("parallel", "auto", "simulation scheduler: auto (parallel when the host has >1 core), on, off")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: shastabench [-scale N] [-apps a,b,c] [-obsv DIR] [list | all | <experiment>...]\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: shastabench [-scale N] [-apps a,b,c] [-obsv DIR] [-parallel auto|on|off] [list | all | <experiment>...]\n\nexperiments:\n")
 		for _, e := range harness.Experiments {
 			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.ID, e.Title)
 		}
@@ -47,6 +55,17 @@ func main() {
 	opts := harness.Options{Scale: *scale}
 	if *appsFlag != "" {
 		opts.Apps = strings.Split(*appsFlag, ",")
+	}
+	switch *parFlag {
+	case "auto":
+		harness.SetParallel(runtime.GOMAXPROCS(0) > 1)
+	case "on":
+		harness.SetParallel(true)
+	case "off":
+		harness.SetParallel(false)
+	default:
+		fmt.Fprintf(os.Stderr, "shastabench: -parallel must be auto, on or off (got %q)\n", *parFlag)
+		os.Exit(2)
 	}
 	if *obsvDir != "" {
 		if err := os.MkdirAll(*obsvDir, 0o755); err != nil {

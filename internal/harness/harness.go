@@ -67,6 +67,7 @@ var Experiments = []Experiment{
 	{"anl", "SMP-Shasta vs hardware-coherent execution on one SMP (Section 4.3)", ANL},
 	{"ablate", "Design-choice ablations: line size, shared directory, fast sync, broadcast downgrades", Ablate},
 	{"profile", "Per-processor execution-time profile, measured breakdown at 8 processors", Profile},
+	{"pdes", "Serial vs parallel simulation scheduler: wall-clock comparison, bit-identity verified", Pdes},
 }
 
 // ByID returns the experiment with the given ID.
@@ -103,6 +104,18 @@ var obsvDir string
 // dir (empty disables it). See OBSERVABILITY.md for the file formats.
 func SetObsvDir(dir string) { obsvDir = dir }
 
+// parallel, when set, runs every subsequent application on the simulator's
+// conservative window-based parallel scheduler. By contract the results —
+// cycles, statistics, traces, metrics, checksums — are bit-identical to
+// serial runs (the pdes experiment verifies this); only host wall-clock
+// time changes, so runCache is deliberately shared between the modes.
+// Process-global like obsvDir; shastabench sets it from its -parallel flag.
+var parallel bool
+
+// SetParallel selects the parallel simulation scheduler for subsequent
+// runs (false restores the serial scheduler).
+func SetParallel(on bool) { parallel = on }
+
 // obsvName encodes a run key into the file-name fragment shared by that
 // run's trace and metrics files.
 func obsvName(key runKey) string {
@@ -121,6 +134,7 @@ func obsvName(key runKey) string {
 
 // runApp executes (or recalls) one application run.
 func runApp(app string, scale int, cfg shasta.Config, varGran bool) (apps.RunResult, error) {
+	cfg.Parallel = parallel
 	key := runKey{app, scale, cfg.Procs, cfg.Clustering, cfg.Hardware, cfg.ForceSMPChecks, varGran}
 	if r, ok := runCache[key]; ok {
 		return r, nil

@@ -10,7 +10,7 @@ import (
 
 func TestExperimentRegistry(t *testing.T) {
 	wantIDs := []string{"table1", "table2", "table3", "fig3", "fig4", "fig5",
-		"fig6", "fig7", "fig8", "micro", "anl", "ablate", "profile"}
+		"fig6", "fig7", "fig8", "micro", "anl", "ablate", "profile", "pdes"}
 	if len(Experiments) != len(wantIDs) {
 		t.Fatalf("have %d experiments, want %d", len(Experiments), len(wantIDs))
 	}

@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/apps"
+)
+
+// Pdes compares the serial scheduler against the conservative window-based
+// parallel scheduler on the same workloads. Each application runs at 8
+// processors with clustering 4 — two SMP nodes, so the parallel scheduler
+// genuinely executes two conflict domains concurrently — once per
+// scheduler, bypassing the run cache so both runs are actually executed
+// and timed. The report shows host wall-clock time under each scheduler
+// and the host speedup; virtual results never change between schedulers,
+// and the experiment fails if cycles, finish time or checksum differ at
+// all (the bit-identity contract, see DESIGN.md).
+//
+// The host speedup depends on the machine: on a single-core host the
+// parallel scheduler degenerates to roughly serial speed (windows add a
+// little coordination), while multi-core hosts overlap the domains.
+func Pdes(o Options, w io.Writer) error {
+	o = o.WithDefaults()
+	names := appList(o, []string{"LU", "Ocean"})
+	fmt.Fprintf(w, "host cores (GOMAXPROCS): %d\n", runtime.GOMAXPROCS(0))
+	tw := newTab(w)
+	fmt.Fprintln(tw, "app\tcycles\tserial wall\tparallel wall\thost speedup\tbit-identical")
+	for _, name := range names {
+		f, ok := apps.Registry[name]
+		if !ok {
+			return fmt.Errorf("harness: unknown application %q", name)
+		}
+		cfg := smpConfig(8)
+
+		start := time.Now()
+		ser, err := apps.Execute(f(o.Scale), cfg, false)
+		if err != nil {
+			return err
+		}
+		serWall := time.Since(start)
+
+		cfg.Parallel = true
+		start = time.Now()
+		par, err := apps.Execute(f(o.Scale), cfg, false)
+		if err != nil {
+			return err
+		}
+		parWall := time.Since(start)
+
+		if ser.Result.FinishCycles != par.Result.FinishCycles ||
+			ser.Result.ParallelCycles != par.Result.ParallelCycles ||
+			ser.Checksum != par.Checksum {
+			return fmt.Errorf("harness: pdes: %s diverged between schedulers: "+
+				"finish %d vs %d, cycles %d vs %d, checksum %v vs %v",
+				name, ser.Result.FinishCycles, par.Result.FinishCycles,
+				ser.Result.ParallelCycles, par.Result.ParallelCycles,
+				ser.Checksum, par.Checksum)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.3fs\t%.3fs\t%.2fx\tyes\n",
+			name, ser.Result.ParallelCycles,
+			serWall.Seconds(), parWall.Seconds(),
+			serWall.Seconds()/parWall.Seconds())
+	}
+	return tw.Flush()
+}

@@ -20,6 +20,7 @@ package memchan
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/sim"
 )
@@ -92,25 +93,43 @@ func DefaultParams() Params {
 	}
 }
 
+// Lookahead returns the minimum latency of any message under these
+// parameters — the wire latency alone, before transfer time. It bounds the
+// conservative parallel scheduler's window width (sim.Engine.Lookahead):
+// no message sent at time t can arrive before t+Lookahead. Embedders whose
+// concurrency domains only ever exchange inter-node messages may use the
+// larger RemoteWire bound instead.
+func (p Params) Lookahead() int64 {
+	if p.LocalWire < p.RemoteWire {
+		return p.LocalWire
+	}
+	return p.RemoteWire
+}
+
 // Network computes message latencies and models per-node Memory Channel
-// link occupancy. It is used from inside simulator processor contexts only,
-// so it needs no locking.
+// link occupancy. It is used from inside simulator processor contexts.
+// Under the parallel scheduler, processors of different nodes may call Send
+// concurrently: the per-node link state is only ever touched by the owning
+// node's processors (one conflict domain), and the cross-node diagnostic
+// counters are atomic sums and maxima, which are order-independent — so
+// the reported values match the serial scheduler's exactly.
 type Network struct {
 	topo Topology
 	par  Params
 	// linkFree[n] is the earliest cycle node n's outgoing Memory Channel
-	// link is free.
+	// link is free. Accessed only by node n's processors.
 	linkFree []int64
 	// counters for diagnostics and observability snapshots
-	remoteSends, localSends int64
-	remoteBytes             int64
+	remoteSends, localSends atomic.Int64
+	remoteBytes             atomic.Int64
 	// linkBusy[n] accumulates cycles node n's link spent serializing
-	// data; linkWait accumulates cycles messages waited for a busy link,
-	// and maxBacklog is the largest single such wait (the deepest the
-	// per-node send queue ever got, in cycles).
+	// data (accessed only by node n's processors); linkWait accumulates
+	// cycles messages waited for a busy link, and maxBacklog is the
+	// largest single such wait (the deepest the per-node send queue ever
+	// got, in cycles).
 	linkBusy   []int64
-	linkWait   int64
-	maxBacklog int64
+	linkWait   atomic.Int64
+	maxBacklog atomic.Int64
 }
 
 // New builds a network for the topology. It panics on an invalid topology,
@@ -148,21 +167,24 @@ func transferCycles(bytes int, bytesPerKCycle int64) int64 {
 func (n *Network) Send(p *sim.Proc, dst int, payloadBytes int, payload any) {
 	size := payloadBytes + n.par.HeaderBytes
 	if n.topo.SameNode(p.ID, dst) {
-		n.localSends++
+		n.localSends.Add(1)
 		lat := n.par.LocalWire + transferCycles(size, n.par.LocalBytesPerKCycle)
 		p.Send(dst, lat, payload)
 		return
 	}
-	n.remoteSends++
-	n.remoteBytes += int64(size)
+	n.remoteSends.Add(1)
+	n.remoteBytes.Add(int64(size))
 	node := n.topo.NodeOf(p.ID)
 	transfer := transferCycles(size, n.par.RemoteBytesPerKCycle)
 	start := p.Now()
 	if n.linkFree[node] > start {
 		wait := n.linkFree[node] - start
-		n.linkWait += wait
-		if wait > n.maxBacklog {
-			n.maxBacklog = wait
+		n.linkWait.Add(wait)
+		for {
+			max := n.maxBacklog.Load()
+			if wait <= max || n.maxBacklog.CompareAndSwap(max, wait) {
+				break
+			}
 		}
 		start = n.linkFree[node]
 	}
@@ -173,14 +195,14 @@ func (n *Network) Send(p *sim.Proc, dst int, payloadBytes int, payload any) {
 }
 
 // RemoteSends returns the number of inter-node messages sent so far.
-func (n *Network) RemoteSends() int64 { return n.remoteSends }
+func (n *Network) RemoteSends() int64 { return n.remoteSends.Load() }
 
 // LocalSends returns the number of intra-node messages sent so far.
-func (n *Network) LocalSends() int64 { return n.localSends }
+func (n *Network) LocalSends() int64 { return n.localSends.Load() }
 
 // RemoteBytes returns total bytes (including headers) pushed over the
 // Memory Channel.
-func (n *Network) RemoteBytes() int64 { return n.remoteBytes }
+func (n *Network) RemoteBytes() int64 { return n.remoteBytes.Load() }
 
 // LinkBusy returns, per node, the cycles its Memory Channel link spent
 // serializing outgoing data.
@@ -190,8 +212,8 @@ func (n *Network) LinkBusy() []int64 {
 
 // LinkWait returns the total cycles messages spent queued behind a busy
 // Memory Channel link.
-func (n *Network) LinkWait() int64 { return n.linkWait }
+func (n *Network) LinkWait() int64 { return n.linkWait.Load() }
 
 // MaxLinkBacklog returns the largest single wait a message incurred behind
 // a busy link, in cycles — the deepest any node's send queue got.
-func (n *Network) MaxLinkBacklog() int64 { return n.maxBacklog }
+func (n *Network) MaxLinkBacklog() int64 { return n.maxBacklog.Load() }

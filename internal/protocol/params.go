@@ -101,6 +101,15 @@ type Config struct {
 	// access hits, and synchronization uses fast hardware primitives.
 	// Used for the paper's ANL-macro efficiency comparison.
 	Hardware bool
+	// Parallel runs the simulation on the engine's conservative
+	// window-based parallel scheduler: processors of different SMP nodes
+	// execute concurrently on real goroutines within lookahead windows
+	// bounded by the inter-node wire latency. Results — cycles,
+	// statistics, traces, metrics — are bit-identical to the serial
+	// scheduler's; only host wall-clock time changes. The engine falls
+	// back to serial when the run has a single conflict domain (one node,
+	// or Hardware mode's global sharing group).
+	Parallel bool
 	// ForceSMPChecks makes the inline checks use the SMP-Shasta code
 	// sequences even when Clustering is 1. The Table 1 checking-overhead
 	// experiment measures SMP-Shasta checks on a single processor.

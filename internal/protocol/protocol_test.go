@@ -450,6 +450,78 @@ func TestDeterministicRuns(t *testing.T) {
 	}
 }
 
+// TestParallelSystemMatchesSerial runs the same contended workload — with a
+// measured phase, so the fence-based ResetStats/EndMeasured path is
+// exercised — under the serial and the window-based parallel scheduler and
+// requires identical results: finish time, misses, messages, and every
+// processor's full time breakdown. The 16-processor/clustering-2 shape is
+// the regression case for fence observations of processors spinning at a
+// barrier in another conflict domain, which slice-granular fence snapshots
+// got wrong before fences were deferred to their cut. Runs under
+// `make check`'s race-mode pass, so it also verifies the parallel
+// scheduler's host-side memory safety through the whole protocol stack.
+func TestParallelSystemMatchesSerial(t *testing.T) {
+	for _, shape := range []struct{ procs, clustering int }{{8, 4}, {16, 2}} {
+		t.Run(fmt.Sprintf("p%d_c%d", shape.procs, shape.clustering), func(t *testing.T) {
+			testParallelSystemMatchesSerial(t, shape.procs, shape.clustering)
+		})
+	}
+}
+
+func testParallelSystemMatchesSerial(t *testing.T, procs, clustering int) {
+	run := func(parallel bool) (int64, *stats.Run) {
+		s := New(Config{
+			NumProcs:     procs,
+			ProcsPerNode: 4,
+			Clustering:   clustering,
+			HeapBytes:    1 << 20,
+			Parallel:     parallel,
+		})
+		a := s.Alloc(4096, 64)
+		l := s.AllocLock()
+		finish := s.Run(func(p *Proc) {
+			p.Barrier()
+			if p.ID() == 0 {
+				p.ResetStats()
+			}
+			p.Barrier()
+			for i := 0; i < 20; i++ {
+				addr := a + memory.Addr(((p.ID()*37+i*13)%512)*8)
+				p.LockAcquire(l)
+				p.StoreU64(addr, p.LoadU64(addr)+1)
+				p.LockRelease(l)
+			}
+			p.Barrier()
+			if p.ID() == 0 {
+				p.EndMeasured()
+			}
+			p.Barrier()
+		})
+		return finish, s.Stats()
+	}
+	sf, ss := run(false)
+	pf, ps := run(true)
+	if sf != pf {
+		t.Fatalf("finish %d vs %d", sf, pf)
+	}
+	if ss.Cycles != ps.Cycles || ss.TotalMisses() != ps.TotalMisses() ||
+		ss.TotalMessages() != ps.TotalMessages() {
+		t.Fatalf("stats diverged: cycles %d vs %d, misses %d vs %d, messages %d vs %d",
+			ss.Cycles, ps.Cycles, ss.TotalMisses(), ps.TotalMisses(),
+			ss.TotalMessages(), ps.TotalMessages())
+	}
+	for i := range ss.Procs {
+		if ss.Procs[i].TimeBy != ps.Procs[i].TimeBy {
+			t.Errorf("proc %d time breakdown %v vs %v", i, ss.Procs[i].TimeBy, ps.Procs[i].TimeBy)
+		}
+	}
+	for i := range ss.Measured {
+		if ss.Measured[i] != ps.Measured[i] {
+			t.Errorf("proc %d measured breakdown %+v vs %+v", i, ss.Measured[i], ps.Measured[i])
+		}
+	}
+}
+
 func TestHardwareMode(t *testing.T) {
 	s := New(Config{NumProcs: 4, ProcsPerNode: 4, Clustering: 4,
 		HeapBytes: 1 << 20, Hardware: true})

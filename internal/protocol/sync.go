@@ -199,18 +199,53 @@ func (p *Proc) handleSync(m *pmsg) {
 // ResetStats zeroes the statistics and marks the start of the measured
 // parallel phase. Call it from exactly one processor immediately after a
 // barrier, per standard SPLASH-2 methodology.
+//
+// The reset runs through a simulator fence, which observes every
+// processor's counters exactly as of the fence's cut — this call's
+// position plus one network lookahead, identical under either scheduler
+// (see sim.Proc.Fence). Because all counters are additive, the reset does
+// not clear them in place; it records the observed values as per-processor
+// baselines that System.Run subtracts once at the end of the run. Live
+// counters therefore stay append-only, which is what keeps the two
+// schedulers bit-identical.
 func (p *Proc) ResetStats() {
-	p.sys.stats.Reset()
-	p.sys.startTime = p.sp.Now()
-	p.sys.endTime = 0
+	sys := p.sys
+	t := p.sp.Now()
+	p.sp.Fence(func(q int, at *stats.Proc) {
+		sys.statBase[q] = *at
+		if q == p.id {
+			sys.stats.Cycles = 0
+			sys.stats.Measured = nil
+			sys.startTime = t
+			sys.endTime = 0
+		}
+	})
 }
 
 // EndMeasured marks the end of the measured parallel phase, so verification
 // code that runs afterwards is excluded from the reported parallel time.
 // Call it from exactly one processor immediately after a barrier. The
 // per-processor time breakdown is frozen here too (see stats.Run.Measured),
-// so post-measurement verification does not pollute the profile.
+// so post-measurement verification does not pollute the profile. Like
+// ResetStats, the capture runs through a simulator fence and reads each
+// processor's counters as of this call's position plus one network
+// lookahead, net of the reset baseline.
 func (p *Proc) EndMeasured() {
-	p.sys.endTime = p.sp.Now()
-	p.sys.stats.CaptureMeasured()
+	sys := p.sys
+	t := p.sp.Now()
+	p.sp.Fence(func(q int, at *stats.Proc) {
+		if q == p.id {
+			sys.endTime = t
+		}
+		if sys.stats.Measured == nil {
+			sys.stats.Measured = make([]stats.MeasuredBreakdown, len(sys.stats.Procs))
+		}
+		var m stats.MeasuredBreakdown
+		base := &sys.statBase[q]
+		for c := range at.TimeBy {
+			m.TimeBy[c] = at.TimeBy[c] - base.TimeBy[c]
+		}
+		m.Downgrade = at.DowngradeCycles - base.DowngradeCycles
+		sys.stats.Measured[q] = m
+	})
 }

@@ -32,6 +32,11 @@ type System struct {
 	// reported parallel time excludes initialization and verification.
 	startTime, endTime int64
 
+	// statBase holds the per-processor counter baselines recorded by
+	// ResetStats (zero until then). Live counters accumulate from the start
+	// of the run; Run subtracts the baselines once at the end.
+	statBase []stats.Proc
+
 	// tracer receives protocol events when attached (see trace.go);
 	// traceSeq numbers them globally in emission order.
 	tracer   Tracer
@@ -168,6 +173,7 @@ func New(cfg Config) *System {
 		stats: stats.NewRun(cfg.NumProcs),
 	}
 	s.pageHome = make([]int16, cfg.HeapBytes/memory.PageSize)
+	s.statBase = make([]stats.Proc, cfg.NumProcs)
 
 	groupSize := cfg.Clustering
 	if cfg.Hardware {
@@ -212,7 +218,61 @@ func New(cfg Config) *System {
 		p.lockGranted = make(map[int]bool)
 		s.procs[i] = p
 	}
+
+	// Parallel-scheduler wiring. Conflict domains are the units that may
+	// touch shared simulator-side state at sub-lookahead latencies: the
+	// processors of one SMP node (link state, intra-node queues) unioned
+	// with those of one sharing group (memory image, miss and downgrade
+	// tables). Groups nest inside nodes under every valid configuration
+	// except Hardware mode's single global group, so the domains are the
+	// nodes — and every cross-domain message is inter-node, which makes
+	// the full RemoteWire latency (not the smaller generic
+	// Params.Lookahead bound) a valid lookahead.
+	s.eng.Parallel = cfg.Parallel
+	s.eng.Lookahead = cfg.Net.RemoteWire
+	s.eng.SetDomains(conflictDomains(topo, groupSize, cfg.NumProcs))
+	s.eng.SetEmitFunc(s.emitTrace)
 	return s
+}
+
+// conflictDomains partitions processors by the transitive closure of
+// "shares an SMP node" and "shares a sharing group".
+func conflictDomains(topo memchan.Topology, groupSize, numProcs int) []int {
+	parent := make([]int, numProcs)
+	for i := range parent {
+		parent[i] = i
+	}
+	find := func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if rb < ra {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	// Nodes and groups are contiguous ID ranges, so adjacent unions
+	// suffice to merge each range.
+	for i := 1; i < numProcs; i++ {
+		if topo.SameNode(i-1, i) {
+			union(i-1, i)
+		}
+		if (i-1)/groupSize == i/groupSize {
+			union(i-1, i)
+		}
+	}
+	out := make([]int, numProcs)
+	for i := range out {
+		out[i] = find(i)
+	}
+	return out
 }
 
 // Config returns the system's (defaulted) configuration.
@@ -347,6 +407,10 @@ func (s *System) Run(body func(*Proc)) int64 {
 		body(p)
 		p.Barrier()
 	})
+	// Net out the ResetStats baselines (no-op if stats were never reset).
+	for i := range s.stats.Procs {
+		s.stats.Procs[i].Sub(&s.statBase[i])
+	}
 	end := s.endTime
 	if end == 0 {
 		end = finish

@@ -119,15 +119,17 @@ func (t *CollectorTracer) Event(e TraceEvent) {
 // Run.
 func (s *System) SetTracer(tr Tracer) { s.tracer = tr }
 
-// trace emits an event if a tracer is attached.
+// trace emits an event if a tracer is attached. The event is buffered in
+// the simulator and delivered to the tracer — with its Seq assigned — on
+// the scheduler's control thread once the virtual-time floor passes it, in
+// deterministic (Time, Proc, program order) order; see emitTrace. The
+// tracer therefore observes an identical event sequence under the serial
+// and parallel schedulers.
 func (p *Proc) trace(op, msg string, base int, format string, args ...any) {
-	tr := p.sys.tracer
-	if tr == nil {
+	if p.sys.tracer == nil {
 		return
 	}
-	p.sys.traceSeq++
-	tr.Event(TraceEvent{
-		Seq:      p.sys.traceSeq,
+	p.sp.Emit(TraceEvent{
 		Time:     p.sp.Now(),
 		Proc:     p.id,
 		Op:       op,
@@ -135,6 +137,19 @@ func (p *Proc) trace(op, msg string, base int, format string, args ...any) {
 		BaseLine: base,
 		Detail:   fmt.Sprintf(format, args...),
 	})
+}
+
+// emitTrace is the engine's emit sink: it assigns the global sequence
+// number at merge time and forwards the event to the attached tracer. It
+// runs single-threaded on the scheduler's control thread.
+func (s *System) emitTrace(_ int64, _ int, payload any) {
+	if s.tracer == nil {
+		return
+	}
+	s.traceSeq++
+	ev := payload.(TraceEvent)
+	ev.Seq = s.traceSeq
+	s.tracer.Event(ev)
 }
 
 // traceState summarizes a block's local protocol state for trace details.

@@ -1,0 +1,300 @@
+package sim
+
+// Conservative window-based parallel scheduler.
+//
+// The causality argument: every message between conflict domains has a
+// latency of at least Engine.Lookahead (L). Let T be the minimum next-run
+// time across all processors. Any message sent inside the window [T, T+L)
+// arrives at T+L or later, so nothing a processor does inside the window
+// can affect what another domain's processor does inside the same window.
+// All domains with work in the window can therefore execute concurrently.
+//
+// Within a domain, processors may share state with latencies below L (the
+// protocol layer's sharing groups and per-node link state), so the domain
+// runs its members cooperatively with the exact serial rule — smallest
+// (virtual time, processor ID) first. Since the serial schedule restricted
+// to one domain's processors follows the same rule, and cross-domain input
+// only changes at window boundaries (below every in-window observation
+// point), each domain's local schedule reproduces its serial schedule
+// operation for operation.
+//
+// Determinism across schedulers then rests on four merge points, all keyed
+// purely by virtual time:
+//
+//   - messages: inbox order is (Arrival, sendTime, Src, srcSeq) — see
+//     msgHeap — so heap contents at any virtual time are schedule-free;
+//   - emissions: Proc.Emit buffers (time, payload); the coordinator flushes
+//     strictly below each new window floor in (time, proc, local order)
+//     order, identical to the serial per-step flush because no processor
+//     can emit below the floor once the floor has passed;
+//   - inbox depth: push/pop events form a virtual-time multiset folded in
+//     (time, push-before-pop) order, so the peak is schedule-free;
+//   - fences: a fence registered at time t resolves at its cut t+L, which
+//     lies at or beyond the current window's end — so while the
+//     registration races in real time with processors of other domains,
+//     none of them can have run past the cut. Window ends are truncated to
+//     the earliest pending cut (the serial scheduler caps slice horizons
+//     the same way), so at the window boundary whose floor reaches the cut
+//     the live counters hold exactly the charges starting before it, under
+//     either scheduler (see Proc.Fence and Engine.resolveFences).
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// buildDomains groups processors into conflict domains from the SetDomains
+// labels (default: one domain per processor). Domain indices are assigned
+// by first appearance in processor order, so the layout is deterministic.
+func (e *Engine) buildDomains() {
+	e.domains = e.domains[:0]
+	index := map[int]int{}
+	for i, p := range e.procs {
+		label := i
+		if e.domainOf != nil {
+			label = e.domainOf[i]
+		}
+		d, ok := index[label]
+		if !ok {
+			d = len(e.domains)
+			index[label] = d
+			e.domains = append(e.domains, nil)
+		}
+		p.domain = d
+		e.domains[d] = append(e.domains[d], p)
+	}
+}
+
+// runWindows executes the program as a sequence of lookahead windows. The
+// coordinator (this goroutine) computes each window, dispatches one worker
+// per active domain, and on join merges staged cross-domain messages, runs
+// deferred fences, and flushes emissions below the next floor.
+func (e *Engine) runWindows() int64 {
+	var lastFloor int64 = -1
+	for {
+		// T = earliest next-run time across all processors.
+		T := int64(math.MaxInt64)
+		for _, p := range e.procs {
+			if t, ok := e.nextTime(p); ok && t < T {
+				T = t
+			}
+		}
+		if T == math.MaxInt64 {
+			done := 0
+			for _, p := range e.procs {
+				if p.state == stateDone {
+					done++
+				}
+			}
+			if done == len(e.procs) {
+				break
+			}
+			e.checkPanic()
+			e.fail("sim: deadlock\n" + e.dump())
+		}
+		// Fences whose cut the floor has reached observe the live
+		// counters before the next window runs anything past the cut.
+		e.resolveFences(T)
+		// Everything below the window start is final; deliver it.
+		if T > lastFloor {
+			e.flushTo(T)
+			lastFloor = T
+		}
+		e.windowEnd = T + e.Lookahead
+		// A pending fence cut truncates the window so no processor records
+		// a charge starting at or past the cut before the fence resolves.
+		if c, ok := e.minFenceCut(); ok && c < e.windowEnd {
+			e.windowEnd = c
+		}
+
+		// Domains with any processor runnable inside the window.
+		var active []int
+		for di, dom := range e.domains {
+			for _, p := range dom {
+				if t, ok := e.nextTime(p); ok && t < e.windowEnd {
+					active = append(active, di)
+					break
+				}
+			}
+		}
+		// One worker per active domain; the coordinator runs the first
+		// domain itself so a single-domain window costs no goroutine.
+		if len(active) == 1 {
+			e.runDomain(active[0])
+		} else {
+			var wwg sync.WaitGroup
+			wwg.Add(len(active) - 1)
+			for _, di := range active[1:] {
+				go func(di int) {
+					defer wwg.Done()
+					e.runDomain(di)
+				}(di)
+			}
+			e.runDomain(active[0])
+			wwg.Wait()
+		}
+		e.checkPanic()
+
+		// Merge staged cross-domain sends. Push order is irrelevant to
+		// delivery order (the inbox key is total), but iterate in
+		// processor order anyway for reproducible internal layout.
+		for _, p := range e.procs {
+			for _, m := range p.outbox {
+				e.procs[m.Dst].enqueue(m)
+			}
+			p.outbox = p.outbox[:0]
+		}
+	}
+	var maxFinish int64
+	for _, p := range e.procs {
+		if p.now > maxFinish {
+			maxFinish = p.now
+		}
+	}
+	return maxFinish
+}
+
+// runDomain runs one conflict domain's processors cooperatively until none
+// can act before the window end. Within the domain this is exactly the
+// serial rule: smallest (next-run time, processor ID) first.
+func (e *Engine) runDomain(di int) {
+	dom := e.domains[di]
+	for {
+		var next *Proc
+		bestT := int64(math.MaxInt64)
+		for _, p := range dom {
+			if t, ok := e.nextTime(p); ok && t < bestT {
+				next, bestT = p, t
+			}
+		}
+		if next == nil || bestT >= e.windowEnd {
+			return
+		}
+		if next.state == stateBlocked {
+			if a, ok := next.PendingArrival(); ok && a > next.now {
+				next.now = a
+			}
+		}
+		next.state = stateRunning
+		next.horizon = e.domainHorizon(next, dom)
+		next.resume <- struct{}{}
+		k := <-next.yielded
+		switch k {
+		case yieldReady:
+			next.state = stateReady
+		case yieldBlocked:
+			next.state = stateBlocked
+		case yieldDone:
+			next.state = stateDone
+		}
+	}
+}
+
+// domainHorizon bounds how far p may run: the window end or the earliest
+// next-run time among its domain peers, whichever is sooner. (A processor
+// yields once its clock reaches the horizon, so actions strictly inside
+// the window still execute.)
+func (e *Engine) domainHorizon(p *Proc, dom []*Proc) int64 {
+	h := e.windowEnd
+	for _, q := range dom {
+		if q == p {
+			continue
+		}
+		if t, ok := e.nextTime(q); ok && t < h {
+			h = t
+		}
+	}
+	return h
+}
+
+// depthBatch bounds how many pending depth events a processor accumulates
+// before a floor advance folds them. Any batching is safe: the events form
+// a multiset keyed by virtual time, so folding in chunks commutes.
+const depthBatch = 4096
+
+// flushTo delivers all buffered emissions with time strictly below floor
+// (in deterministic merge order) and folds pending inbox-depth events below
+// floor. Called only from the scheduler's control thread — per serial step
+// or per window — when the global virtual-time floor advances, and once
+// with floor = MaxInt64 at the end of Run.
+func (e *Engine) flushTo(floor int64) {
+	if e.emitFn != nil {
+		e.mergeEmits(floor)
+	}
+	final := floor == math.MaxInt64
+	for _, p := range e.procs {
+		if final || len(p.depthPend) >= depthBatch {
+			p.applyDepth(floor)
+		}
+	}
+}
+
+// mergeEmits is a k-way merge of the per-processor emission buffers by
+// (time, proc); within one processor, buffer order (program order) is
+// already time-sorted because a processor's clock never decreases.
+func (e *Engine) mergeEmits(floor int64) {
+	for {
+		best := -1
+		var bestT int64
+		for i, p := range e.procs {
+			if p.emitStart < len(p.emits) {
+				t := p.emits[p.emitStart].time
+				if t < floor && (best < 0 || t < bestT) {
+					best, bestT = i, t
+				}
+			}
+		}
+		if best < 0 {
+			break
+		}
+		p := e.procs[best]
+		r := p.emits[p.emitStart]
+		p.emits[p.emitStart] = emitRec{} // free the payload
+		p.emitStart++
+		e.emitFn(r.time, best, r.payload)
+	}
+	for _, p := range e.procs {
+		if p.emitStart == len(p.emits) {
+			p.emits = p.emits[:0]
+			p.emitStart = 0
+		}
+	}
+}
+
+// applyDepth folds pending depth events with time strictly below floor into
+// the running depth, updating the peak. Events at one instant fold pushes
+// before pops: a message popped at its own send time (zero-latency receive)
+// still occupied the inbox momentarily.
+func (p *Proc) applyDepth(floor int64) {
+	due := p.depthDue[:0]
+	keep := p.depthPend[:0]
+	for _, ev := range p.depthPend {
+		if ev.time < floor {
+			due = append(due, ev)
+		} else {
+			keep = append(keep, ev)
+		}
+	}
+	p.depthPend = keep
+	p.depthDue = due[:0]
+	if len(due) == 0 {
+		return
+	}
+	sort.Slice(due, func(i, j int) bool {
+		if due[i].time != due[j].time {
+			return due[i].time < due[j].time
+		}
+		return !due[i].pop && due[j].pop
+	})
+	for _, ev := range due {
+		if ev.pop {
+			p.depth--
+		} else {
+			p.depth++
+			if p.depth > p.peakDepth {
+				p.peakDepth = p.depth
+			}
+		}
+	}
+}

@@ -1,15 +1,23 @@
 // Package sim implements a deterministic discrete-event simulation engine
 // for a cluster of processors.
 //
-// Each simulated processor runs its program on its own goroutine, but the
-// engine enforces strictly cooperative execution: exactly one processor
-// context executes at any instant, and the scheduler always resumes the
-// runnable processor with the smallest virtual time (ties broken by
-// processor ID). Processors advance their own virtual clocks explicitly and
-// exchange timestamped messages; a message sent at time t with latency d is
-// visible to the destination no earlier than t+d. The same program and
-// configuration therefore always produce the same event order, the same
-// protocol statistics and the same virtual execution times.
+// Each simulated processor runs its program on its own goroutine. Under the
+// default serial scheduler the engine enforces strictly cooperative
+// execution: exactly one processor context executes at any instant, and the
+// scheduler always resumes the runnable processor with the smallest virtual
+// time (ties broken by processor ID). Processors advance their own virtual
+// clocks explicitly and exchange timestamped messages; a message sent at
+// time t with latency d is visible to the destination no earlier than t+d.
+//
+// The engine also offers a conservative parallel scheduler (see
+// parallel.go): when every cross-domain message has a minimum latency L
+// (the Lookahead), all processors whose next-run time falls inside the
+// window [T, T+L) can execute concurrently on real goroutines without
+// violating causality — no message sent inside the window can arrive inside
+// it. Message delivery order, statistics, emission order and inbox-depth
+// accounting are all defined in terms of virtual time with deterministic
+// tie-breaks, so the same program and configuration produce bit-identical
+// results under either scheduler.
 //
 // The engine is the substitute for the paper's physical cluster of four
 // AlphaServer 4100s: virtual clocks play the role of the 300 MHz 21164
@@ -24,6 +32,7 @@ import (
 	"runtime/debug"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/stats"
 )
@@ -33,8 +42,13 @@ type Message struct {
 	Src     int   // sending processor ID
 	Dst     int   // receiving processor ID
 	Arrival int64 // earliest cycle at which the destination may observe it
-	seq     uint64
-	Payload any
+	// sendTime and srcSeq make delivery order a pure function of virtual
+	// time: messages are ordered by (Arrival, sendTime, Src, srcSeq), a
+	// total order (srcSeq is a per-sender counter) that does not depend on
+	// which scheduler interleaved the sends.
+	sendTime int64
+	srcSeq   uint64
+	Payload  any
 }
 
 type procState int
@@ -54,9 +68,25 @@ const (
 	yieldDone
 )
 
+// emitRec is one deferred emission (see Proc.Emit).
+type emitRec struct {
+	time    int64
+	payload any
+}
+
+// depthEvent tracks inbox occupancy in virtual time: a message occupies its
+// destination's inbox from its send time until the destination pops it.
+// Both schedulers record the same (time, kind) multiset, so the peak depth
+// is scheduler-independent.
+type depthEvent struct {
+	time int64
+	pop  bool
+}
+
 // Proc is one simulated processor context. All methods must be called only
-// from the processor's own body function (the engine enforces cooperative
-// single ownership).
+// from the processor's own body function (the engine enforces single
+// ownership: cooperative under the serial scheduler, per-conflict-domain
+// under the parallel one).
 type Proc struct {
 	// ID is the processor's index in [0, NumProcs).
 	ID int
@@ -75,14 +105,30 @@ type Proc struct {
 	body    func(*Proc)
 	// blockedAt records where a processor blocked, for deadlock reports.
 	blockedAt string
-	// peakInbox is the deepest the inbox ever got, for observability
-	// snapshots of queue depths.
-	peakInbox int
+	// sendSeq counts this processor's sends; it is the final tie-break of
+	// message delivery order and resets on every Run.
+	sendSeq uint64
+	// domain is the processor's conflict-domain index (parallel scheduler).
+	domain int
+	// outbox stages cross-domain sends during a parallel window; the
+	// coordinator merges them at the window boundary.
+	outbox []Message
+	// emits buffers Emit calls until the global virtual-time floor passes
+	// them; emitStart is the already-flushed prefix.
+	emits     []emitRec
+	emitStart int
+	// depthPend buffers inbox-depth events until the floor passes them;
+	// depthDue is the reusable scratch for folding a batch.
+	depthPend []depthEvent
+	depthDue  []depthEvent
+	depth     int
+	peakDepth int
 }
 
-// PeakInboxDepth returns the largest number of messages ever queued for
-// this processor at once.
-func (p *Proc) PeakInboxDepth() int { return p.peakInbox }
+// PeakInboxDepth returns the largest number of messages ever simultaneously
+// pending for this processor, measured in virtual time: a message counts
+// from its send time until the processor receives it. Valid after Run.
+func (p *Proc) PeakInboxDepth() int { return p.peakDepth }
 
 // Now returns the processor's current virtual time in cycles.
 func (p *Proc) Now() int64 { return p.now }
@@ -98,7 +144,15 @@ func (p *Proc) Advance(c stats.TimeCategory, cycles int64) {
 	if p.Stats != nil {
 		p.Stats.AddTime(c, cycles)
 	}
-	if p.now > p.horizon {
+	// Yield as soon as any other processor could have an action at or
+	// before the new time (now >= horizon, not just past it): equal-time
+	// actions across processors then always execute in processor-ID order
+	// — the scheduler's pick rule — rather than in an order dependent on
+	// where earlier slices happened to end. That canonical tie order is
+	// what makes the serial and parallel schedulers produce identical
+	// results when same-time actions touch shared model state (for
+	// example, per-node link reservations in memchan).
+	if p.now >= p.horizon {
 		p.doYield(yieldReady)
 	}
 }
@@ -118,19 +172,15 @@ func (p *Proc) Yield() { p.doYield(yieldReady) }
 
 // Send delivers payload to processor dst with the given latency in cycles.
 // The destination can observe the message once its own clock reaches the
-// arrival time.
+// arrival time. Under the parallel scheduler, a send to another conflict
+// domain must arrive no earlier than the engine's Lookahead after the start
+// of the current window (guaranteed when every cross-domain latency is at
+// least the Lookahead).
 func (p *Proc) Send(dst int, latency int64, payload any) {
 	if latency < 0 {
 		panic(fmt.Sprintf("sim: proc %d sent with negative latency %d", p.ID, latency))
 	}
-	arrival := p.now + latency
-	p.eng.deliver(Message{Src: p.ID, Dst: dst, Arrival: arrival, Payload: payload})
-	// The destination may now need to run before this processor's next
-	// scheduling point; shrink the horizon so we hand control back in
-	// time.
-	if arrival < p.horizon {
-		p.horizon = arrival
-	}
+	p.post(dst, p.now+latency, payload)
 }
 
 // SendAt is like Send but schedules arrival at an absolute time, which must
@@ -139,23 +189,71 @@ func (p *Proc) SendAt(dst int, arrival int64, payload any) {
 	if arrival < p.now {
 		panic(fmt.Sprintf("sim: proc %d scheduled arrival %d before now %d", p.ID, arrival, p.now))
 	}
-	p.eng.deliver(Message{Src: p.ID, Dst: dst, Arrival: arrival, Payload: payload})
+	p.post(dst, arrival, payload)
+}
+
+// post validates the destination and routes the message: directly into the
+// destination's inbox when the destination is scheduled by the same control
+// flow (serial mode, or same conflict domain), staged in the sender's
+// outbox for the window-boundary merge otherwise.
+func (p *Proc) post(dst int, arrival int64, payload any) {
+	e := p.eng
+	if dst < 0 || dst >= len(e.procs) {
+		panic(fmt.Sprintf("sim: proc %d sent to invalid destination %d (NumProcs %d)",
+			p.ID, dst, len(e.procs)))
+	}
+	p.sendSeq++
+	m := Message{Src: p.ID, Dst: dst, Arrival: arrival,
+		sendTime: p.now, srcSeq: p.sendSeq, Payload: payload}
+	if e.windowed && e.procs[dst].domain != p.domain {
+		if arrival < e.windowEnd {
+			panic(fmt.Sprintf(
+				"sim: lookahead violation: proc %d (domain %d) sent to proc %d (domain %d) "+
+					"arriving at %d inside the window ending at %d; cross-domain latency "+
+					"must be at least the lookahead (%d)",
+				p.ID, p.domain, dst, e.procs[dst].domain, arrival, e.windowEnd, e.Lookahead))
+		}
+		p.outbox = append(p.outbox, m)
+	} else {
+		e.procs[dst].enqueue(m)
+	}
+	// The destination may now need to run before this processor's next
+	// scheduling point; shrink the horizon so we hand control back in
+	// time. (Cross-domain arrivals lie beyond the window horizon already.)
 	if arrival < p.horizon {
 		p.horizon = arrival
 	}
+}
+
+// enqueue pushes a message into the inbox and records its depth event.
+func (p *Proc) enqueue(m Message) {
+	heap.Push(&p.inbox, m)
+	p.depthPend = append(p.depthPend, depthEvent{time: m.sendTime})
+}
+
+// popInbox removes the earliest deliverable message and records the
+// matching depth event at the pop's virtual time.
+func (p *Proc) popInbox() Message {
+	m := heap.Pop(&p.inbox).(Message)
+	p.depthPend = append(p.depthPend, depthEvent{time: p.now, pop: true})
+	return m
 }
 
 // TryRecv returns the earliest message whose arrival time has been reached,
 // if any. It does not advance the clock.
 func (p *Proc) TryRecv() (Message, bool) {
 	if len(p.inbox) > 0 && p.inbox[0].Arrival <= p.now {
-		return heap.Pop(&p.inbox).(Message), true
+		return p.popInbox(), true
 	}
 	return Message{}, false
 }
 
 // PendingArrival reports the arrival time of the earliest queued message,
-// delivered or not.
+// delivered or not. Under the parallel scheduler a cross-domain message
+// becomes visible here only at the window boundary (always before the
+// receiver's clock could reach its arrival time), so programs must not use
+// PendingArrival to detect the presence of future messages — only TryRecv
+// and WaitRecv have scheduler-independent semantics.
 func (p *Proc) PendingArrival() (int64, bool) {
 	if len(p.inbox) == 0 {
 		return 0, false
@@ -171,7 +269,7 @@ func (p *Proc) PendingArrival() (int64, bool) {
 func (p *Proc) WaitRecv(c stats.TimeCategory, where string) Message {
 	for {
 		if len(p.inbox) > 0 && p.inbox[0].Arrival <= p.now {
-			return heap.Pop(&p.inbox).(Message)
+			return p.popInbox()
 		}
 		p.blockedAt = where
 		prev := p.now
@@ -184,16 +282,177 @@ func (p *Proc) WaitRecv(c stats.TimeCategory, where string) Message {
 	}
 }
 
-// doYield transfers control to the scheduler.
-func (p *Proc) doYield(k yieldKind) {
-	p.yielded <- k
-	<-p.resume
+// Emit buffers a timestamped payload for the engine's emit function (see
+// Engine.SetEmitFunc). Emissions are delivered on the scheduler's control
+// thread in deterministic (time, proc, emission order) order once the
+// global virtual-time floor has passed them, so a run produces the same
+// emission sequence under the serial and parallel schedulers. No-op when no
+// emit function is set.
+func (p *Proc) Emit(payload any) {
+	if p.eng.emitFn == nil {
+		return
+	}
+	p.emits = append(p.emits, emitRec{time: p.now, payload: payload})
 }
 
-// Engine owns the processors and runs the cooperative schedule.
+// Fence schedules f(proc, at) to run once per processor, observing the
+// global state at the fence's cut: the caller's current time plus
+// Engine.Lookahead. At resolution, at points to processor proc's
+// statistics (nil when the processor has no Stats attached) containing
+// exactly the charges made strictly before the cut — under either
+// scheduler. f must treat at as read-only and must not mutate any
+// processor's live Stats — record a snapshot or baseline instead (all
+// stats counters are additive, so the embedder can difference baselines
+// afterwards).
+//
+// With Lookahead 0 the cut is the call position itself and f runs inline
+// for every processor before Fence returns: at the fence call the caller
+// holds the earliest position in the canonical schedule (a processor
+// yields the moment its clock reaches any other's next-run time, and
+// sending shrinks the sender's own horizon), so the live counters are
+// exactly the state at the caller's position.
+//
+// With Lookahead L > 0, resolution is deferred and Fence returns before f
+// runs: the callbacks execute on the scheduler's control thread once the
+// schedule has passed the cut (or at the end of the run), with multiple
+// fences ordered by (registration time, caller ID). Deferral by one
+// lookahead is what makes the observation scheduler-exact at an
+// affordable cost: a fence registered inside a parallel window races in
+// real time with the processors of other domains, which may already have
+// run past the registration position — but never past the end of the
+// window, which never exceeds the cut. Both schedulers stop every
+// processor exactly at pending cuts (the serial scheduler caps slice
+// horizons there, the parallel scheduler truncates window ends), so at
+// resolution each has recorded the identical set of charges, and a run
+// observes byte-identical fence results under both. This is the hook for
+// rare cross-processor reads like statistics resets and captures; see
+// DESIGN.md.
+func (p *Proc) Fence(f func(proc int, at *stats.Proc)) {
+	e := p.eng
+	if e.Lookahead <= 0 {
+		for _, q := range e.procs {
+			f(q.ID, q.Stats)
+		}
+		return
+	}
+	e.fenceMu.Lock()
+	e.fences = append(e.fences, fenceRec{time: p.now, proc: p.ID, f: f})
+	e.fenceMu.Unlock()
+	// Cap the caller's own running slice at the cut, exactly like post()
+	// does for a message arriving before the horizon. (Under the parallel
+	// scheduler this is a no-op: the horizon never exceeds the window end,
+	// which never exceeds the cut.)
+	if cut := p.now + e.Lookahead; cut < p.horizon {
+		p.horizon = cut
+	}
+}
+
+// abortSentinel is panicked into parked processor goroutines when a run
+// fails, so they unwind and exit instead of leaking.
+type abortSentinel struct{}
+
+// doYield transfers control to the scheduler. If the engine aborts the run
+// (deadlock or a processor panic elsewhere), the goroutine unwinds via
+// abortSentinel instead of blocking forever.
+func (p *Proc) doYield(k yieldKind) {
+	e := p.eng
+	select {
+	case p.yielded <- k:
+	case <-e.abort:
+		panic(abortSentinel{})
+	}
+	select {
+	case <-p.resume:
+	case <-e.abort:
+		panic(abortSentinel{})
+	}
+}
+
+// fenceRec is one registered fence awaiting resolution at its cut,
+// time + Engine.Lookahead. The (time, proc) registration position orders
+// the callbacks deterministically when several fences resolve together.
+type fenceRec struct {
+	time int64
+	proc int
+	f    func(proc int, at *stats.Proc)
+}
+
+// minFenceCut returns the earliest pending fence cut, if any. Called only
+// from the scheduler's control thread while no processor is running (serial
+// slice picks, window boundaries), where registration cannot race.
+func (e *Engine) minFenceCut() (int64, bool) {
+	var c int64 = math.MaxInt64
+	for _, fr := range e.fences {
+		if t := fr.time + e.Lookahead; t < c {
+			c = t
+		}
+	}
+	return c, c != math.MaxInt64
+}
+
+// resolveFences runs the callbacks of every pending fence whose cut has
+// been reached: limit is the earliest next action in the schedule (the next
+// serial slice pick, the next window floor, or MaxInt64 at the end of the
+// run). Because both schedulers stop every processor's slice at pending
+// cuts, the live counters at that point hold exactly the charges starting
+// before the cut, so the callbacks read them directly. Runs only on the
+// scheduler's control thread with every processor parked.
+func (e *Engine) resolveFences(limit int64) {
+	if len(e.fences) == 0 {
+		return
+	}
+	var due []fenceRec
+	rest := e.fences[:0]
+	for _, fr := range e.fences {
+		if fr.time+e.Lookahead <= limit {
+			due = append(due, fr)
+		} else {
+			rest = append(rest, fr)
+		}
+	}
+	e.fences = rest
+	sort.Slice(due, func(i, j int) bool {
+		if due[i].time != due[j].time {
+			return due[i].time < due[j].time
+		}
+		return due[i].proc < due[j].proc
+	})
+	for _, fr := range due {
+		for _, p := range e.procs {
+			fr.f(p.ID, p.Stats)
+		}
+	}
+}
+
+// Engine owns the processors and runs the schedule.
 type Engine struct {
-	procs []*Proc
-	seq   uint64
+	// Parallel selects the conservative window-based parallel scheduler.
+	// It takes effect only when Lookahead is positive and the run has more
+	// than one conflict domain; otherwise Run silently falls back to the
+	// serial scheduler. Results are bit-identical either way.
+	Parallel bool
+	// Lookahead is the minimum latency of any cross-domain message, in
+	// cycles. It bounds how far processors of different domains may run
+	// concurrently: all processors whose next-run time falls in [T, T+L)
+	// execute in parallel. The embedder must guarantee the bound; the
+	// engine panics on a violating send.
+	Lookahead int64
+
+	procs    []*Proc
+	domainOf []int     // optional processor -> domain label (SetDomains)
+	domains  [][]*Proc // built per Run from domainOf
+
+	emitFn func(time int64, proc int, payload any)
+
+	// Per-run state, fully reset by Run.
+	windowed  bool
+	windowEnd int64
+	abort     chan struct{}
+	abortOnce sync.Once
+	panicCh   chan procPanic
+	wg        sync.WaitGroup
+	fenceMu   sync.Mutex
+	fences    []fenceRec
 }
 
 // NewEngine creates an engine with n processor contexts. Statistics
@@ -201,12 +460,7 @@ type Engine struct {
 func NewEngine(n int) *Engine {
 	e := &Engine{procs: make([]*Proc, n)}
 	for i := range e.procs {
-		e.procs[i] = &Proc{
-			ID:      i,
-			eng:     e,
-			resume:  make(chan struct{}),
-			yielded: make(chan yieldKind),
-		}
+		e.procs[i] = &Proc{ID: i, eng: e}
 	}
 	return e
 }
@@ -217,14 +471,28 @@ func (e *Engine) NumProcs() int { return len(e.procs) }
 // Proc returns processor i's context (for wiring Stats before Run).
 func (e *Engine) Proc(i int) *Proc { return e.procs[i] }
 
-func (e *Engine) deliver(m Message) {
-	e.seq++
-	m.seq = e.seq
-	dst := e.procs[m.Dst]
-	heap.Push(&dst.inbox, m)
-	if len(dst.inbox) > dst.peakInbox {
-		dst.peakInbox = len(dst.inbox)
+// SetEmitFunc installs the sink for Proc.Emit payloads. It is called on
+// the scheduler's control thread, strictly ordered by (time, proc,
+// per-processor emission order) — identical under both schedulers. Call
+// before Run.
+func (e *Engine) SetEmitFunc(f func(time int64, proc int, payload any)) { e.emitFn = f }
+
+// SetDomains assigns processors to conflict domains for the parallel
+// scheduler: processors sharing a label never execute concurrently (their
+// mutual schedule reproduces the serial one exactly), while processors of
+// different domains may run in parallel within a lookahead window. All
+// communication between domains must go through messages whose latency is
+// at least Engine.Lookahead. nil restores the default of one domain per
+// processor. Panics if the slice length does not match NumProcs.
+func (e *Engine) SetDomains(domainOf []int) {
+	if domainOf != nil && len(domainOf) != len(e.procs) {
+		panic(fmt.Sprintf("sim: SetDomains got %d labels for %d procs", len(domainOf), len(e.procs)))
 	}
+	if domainOf == nil {
+		e.domainOf = nil
+		return
+	}
+	e.domainOf = append([]int(nil), domainOf...)
 }
 
 type procPanic struct {
@@ -236,40 +504,128 @@ type procPanic struct {
 // Run executes body on every processor until all complete, and returns the
 // maximum finish time in cycles. It panics with a diagnostic if the system
 // deadlocks (all processors blocked with no messages in flight) or if any
-// processor's body panics.
+// processor's body panics; in both cases every processor goroutine is
+// released before the panic propagates, so failed runs leak nothing. Run
+// fully resets engine and processor state first, so one engine can execute
+// the same program repeatedly with identical results.
 func (e *Engine) Run(body func(*Proc)) int64 {
-	panicCh := make(chan procPanic, len(e.procs))
+	e.resetRun(body)
+	e.buildDomains()
+	e.windowed = e.Parallel && e.Lookahead > 0 && len(e.domains) > 1
+	defer func() { e.windowed = false }()
+	e.startProcs()
+
+	var maxFinish int64
+	if e.windowed {
+		maxFinish = e.runWindows()
+	} else {
+		maxFinish = e.runSerial()
+	}
+	// Fences whose cut lies beyond the last action observe the final state.
+	e.resolveFences(math.MaxInt64)
+	e.flushTo(math.MaxInt64)
+	e.wg.Wait()
+	return maxFinish
+}
+
+// resetRun clears all per-run engine and processor state: clocks, inboxes,
+// send sequence counters, staged messages, emission and depth buffers, and
+// the failure-handling channels. Reusing an engine is therefore fully
+// reproducible.
+func (e *Engine) resetRun(body func(*Proc)) {
+	e.abort = make(chan struct{})
+	e.abortOnce = sync.Once{}
+	e.panicCh = make(chan procPanic, len(e.procs))
+	e.wg = sync.WaitGroup{}
+	e.fences = nil
+	e.windowEnd = 0
 	for _, p := range e.procs {
 		p.body = body
 		p.state = stateReady
-		p.now = 0
-		p.horizon = 0
+		p.now, p.horizon = 0, 0
 		p.inbox = nil
-		p.peakInbox = 0
+		p.blockedAt = ""
+		p.sendSeq = 0
+		p.outbox = nil
+		p.emits, p.emitStart = nil, 0
+		p.depthPend, p.depthDue = nil, nil
+		p.depth, p.peakDepth = 0, 0
+		p.resume = make(chan struct{})
+		p.yielded = make(chan yieldKind)
+	}
+}
+
+// startProcs launches the processor goroutines. Each waits for its first
+// resume, runs the body, and reports completion; a body panic is captured
+// for the scheduler and an engine abort unwinds the goroutine silently.
+func (e *Engine) startProcs() {
+	e.wg.Add(len(e.procs))
+	for _, p := range e.procs {
 		go func(p *Proc) {
+			defer e.wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					panicCh <- procPanic{p.ID, r, debug.Stack()}
-					// Unblock the scheduler, which is waiting on
-					// p.yielded.
-					p.yielded <- yieldDone
+					if _, ok := r.(abortSentinel); ok {
+						return
+					}
+					e.panicCh <- procPanic{p.ID, r, debug.Stack()}
+					select {
+					case p.yielded <- yieldDone:
+					case <-e.abort:
+					}
 				}
 			}()
-			<-p.resume
+			select {
+			case <-p.resume:
+			case <-e.abort:
+				return
+			}
 			p.body(p)
-			// Terminal yield: signal completion and let the goroutine
-			// exit (waiting for a resume that never comes would leak the
-			// goroutine and pin the whole engine in memory).
-			p.yielded <- yieldDone
+			select {
+			case p.yielded <- yieldDone:
+			case <-e.abort:
+			}
 		}(p)
 	}
+}
 
+// fail aborts the run — releasing every parked processor goroutine and
+// waiting for all of them to exit — and then panics with the diagnostic.
+func (e *Engine) fail(msg string) {
+	e.abortOnce.Do(func() { close(e.abort) })
+	e.wg.Wait()
+	panic(msg)
+}
+
+// checkPanic propagates a captured processor panic, if any.
+func (e *Engine) checkPanic() {
+	select {
+	case pp := <-e.panicCh:
+		e.fail(fmt.Sprintf("sim: processor %d panicked: %v\n%s\noriginal stack:\n%s",
+			pp.id, pp.val, e.dump(), pp.stack))
+	default:
+	}
+}
+
+// runSerial is the cooperative scheduler: always resume the runnable
+// processor with the smallest virtual time.
+func (e *Engine) runSerial() int64 {
 	var maxFinish int64
+	var lastFloor int64 = -1
 	remaining := len(e.procs)
 	for remaining > 0 {
-		next := e.pickNext()
+		next, bestT := e.pickNext()
 		if next == nil {
-			panic("sim: deadlock\n" + e.dump())
+			e.checkPanic()
+			e.fail("sim: deadlock\n" + e.dump())
+		}
+		// Fences whose cut the schedule has reached observe the live
+		// counters before anything at or past the cut runs.
+		e.resolveFences(bestT)
+		// Everything below the next resume time is final; deliver it.
+		if bestT > lastFloor {
+			e.flushTo(bestT)
+			lastFloor = bestT
 		}
 		// Wake a blocked processor at its earliest message arrival.
 		// The interval is attributed inside WaitRecv, which knows the
@@ -283,12 +639,7 @@ func (e *Engine) Run(body func(*Proc)) int64 {
 		next.horizon = e.horizonFor(next)
 		next.resume <- struct{}{}
 		k := <-next.yielded
-		select {
-		case pp := <-panicCh:
-			panic(fmt.Sprintf("sim: processor %d panicked: %v\n%s\noriginal stack:\n%s",
-				pp.id, pp.val, e.dump(), pp.stack))
-		default:
-		}
+		e.checkPanic()
 		switch k {
 		case yieldReady:
 			next.state = stateReady
@@ -324,7 +675,7 @@ func (e *Engine) nextTime(p *Proc) (int64, bool) {
 	}
 }
 
-func (e *Engine) pickNext() *Proc {
+func (e *Engine) pickNext() (*Proc, int64) {
 	var best *Proc
 	var bestT int64 = math.MaxInt64
 	for _, p := range e.procs {
@@ -332,11 +683,13 @@ func (e *Engine) pickNext() *Proc {
 			best, bestT = p, t
 		}
 	}
-	return best
+	return best, bestT
 }
 
 // horizonFor computes how far p may run before control must return to the
-// scheduler: the earliest next-run time among all other processors.
+// scheduler: the earliest next-run time among all other processors, capped
+// at the earliest pending fence cut so the fence resolves before anything
+// at or past its cut runs.
 func (e *Engine) horizonFor(p *Proc) int64 {
 	var h int64 = math.MaxInt64
 	for _, q := range e.procs {
@@ -346,6 +699,9 @@ func (e *Engine) horizonFor(p *Proc) int64 {
 		if t, ok := e.nextTime(q); ok && t < h {
 			h = t
 		}
+	}
+	if c, ok := e.minFenceCut(); ok && c < h {
+		h = c
 	}
 	return h
 }
@@ -373,7 +729,10 @@ func (e *Engine) dump() string {
 	return b.String()
 }
 
-// msgHeap orders messages by (arrival, seq) so delivery is deterministic.
+// msgHeap orders messages by (arrival, send time, sender, per-sender send
+// sequence) — a total order over messages that depends only on virtual
+// time, never on which scheduler interleaved the sends, so delivery is
+// deterministic and identical under the serial and parallel schedulers.
 type msgHeap []Message
 
 func (h msgHeap) Len() int { return len(h) }
@@ -381,7 +740,13 @@ func (h msgHeap) Less(i, j int) bool {
 	if h[i].Arrival != h[j].Arrival {
 		return h[i].Arrival < h[j].Arrival
 	}
-	return h[i].seq < h[j].seq
+	if h[i].sendTime != h[j].sendTime {
+		return h[i].sendTime < h[j].sendTime
+	}
+	if h[i].Src != h[j].Src {
+		return h[i].Src < h[j].Src
+	}
+	return h[i].srcSeq < h[j].srcSeq
 }
 func (h msgHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *msgHeap) Push(x any)   { *h = append(*h, x.(Message)) }

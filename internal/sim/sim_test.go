@@ -1,14 +1,31 @@
 package sim
 
 import (
+	"os"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/stats"
 )
 
+// newTestEngine builds an engine under the scheduler selected by the
+// environment: with SIM_FORCE_PARALLEL=1 (set by make check) the suite
+// re-runs under the parallel scheduler with the minimum lookahead and one
+// conflict domain per processor — the most aggressive windowing possible —
+// so scheduler-independence bugs surface in ordinary tests. Tests that
+// assert the serial schedule itself, or whose bodies share memory across
+// processor contexts, construct their engine with NewEngine directly.
+func newTestEngine(n int) *Engine {
+	e := NewEngine(n)
+	if os.Getenv("SIM_FORCE_PARALLEL") == "1" {
+		e.Parallel = true
+		e.Lookahead = 1
+	}
+	return e
+}
+
 func TestSingleProcAdvance(t *testing.T) {
-	e := NewEngine(1)
+	e := newTestEngine(1)
 	finish := e.Run(func(p *Proc) {
 		p.Advance(stats.Task, 100)
 		p.Advance(stats.Task, 50)
@@ -24,12 +41,12 @@ func TestAdvanceNegativePanics(t *testing.T) {
 			t.Fatal("expected panic on negative advance")
 		}
 	}()
-	e := NewEngine(1)
+	e := newTestEngine(1)
 	e.Run(func(p *Proc) { p.Advance(stats.Task, -1) })
 }
 
 func TestMessageLatency(t *testing.T) {
-	e := NewEngine(2)
+	e := newTestEngine(2)
 	var recvAt int64
 	e.Run(func(p *Proc) {
 		switch p.ID {
@@ -52,7 +69,9 @@ func TestMessageLatency(t *testing.T) {
 func TestMinTimeSchedulingIsDeterministic(t *testing.T) {
 	// Three processors append their IDs on each of several steps with
 	// distinct advance amounts; the interleaving must follow virtual
-	// time exactly, every run.
+	// time exactly, every run. Pinned to the serial scheduler (NewEngine,
+	// not newTestEngine): the body appends to a shared slice, which only
+	// the strictly cooperative serial schedule may do.
 	run := func() []int {
 		e := NewEngine(3)
 		var order []int
@@ -81,7 +100,8 @@ func TestMinTimeSchedulingIsDeterministic(t *testing.T) {
 
 func TestSchedulerOrdersByVirtualTime(t *testing.T) {
 	// Proc 1 does a tiny step and must run before proc 0's second step
-	// even though proc 0 was started first.
+	// even though proc 0 was started first. Pinned to the serial
+	// scheduler: the body appends to a shared slice.
 	e := NewEngine(2)
 	var order []struct {
 		id int
@@ -108,7 +128,7 @@ func TestSchedulerOrdersByVirtualTime(t *testing.T) {
 }
 
 func TestWaitRecvStallAttribution(t *testing.T) {
-	e := NewEngine(2)
+	e := newTestEngine(2)
 	st := stats.NewRun(2)
 	for i := 0; i < 2; i++ {
 		e.Proc(i).Stats = &st.Procs[i]
@@ -130,7 +150,7 @@ func TestEarlierMessageShortensWait(t *testing.T) {
 	// Proc 2 blocks; proc 0 sends a message arriving at t=1000, then
 	// proc 1 sends one arriving at t=200. Proc 2 must wake at 200 and
 	// see proc 1's message first.
-	e := NewEngine(3)
+	e := newTestEngine(3)
 	var firstSrc int
 	var wake int64
 	e.Run(func(p *Proc) {
@@ -153,7 +173,7 @@ func TestEarlierMessageShortensWait(t *testing.T) {
 func TestTieBreakBySequence(t *testing.T) {
 	// Two messages arriving at the same instant are delivered in send
 	// order.
-	e := NewEngine(2)
+	e := newTestEngine(2)
 	var got []string
 	e.Run(func(p *Proc) {
 		if p.ID == 0 {
@@ -175,7 +195,7 @@ func TestDeadlockDetection(t *testing.T) {
 			t.Fatal("expected deadlock panic")
 		}
 	}()
-	e := NewEngine(2)
+	e := newTestEngine(2)
 	e.Run(func(p *Proc) {
 		p.WaitRecv(stats.Read, "forever") // nobody ever sends
 	})
@@ -187,7 +207,7 @@ func TestBodyPanicPropagates(t *testing.T) {
 			t.Fatal("expected body panic to propagate")
 		}
 	}()
-	e := NewEngine(2)
+	e := newTestEngine(2)
 	e.Run(func(p *Proc) {
 		if p.ID == 1 {
 			panic("boom")
@@ -197,7 +217,7 @@ func TestBodyPanicPropagates(t *testing.T) {
 }
 
 func TestSelfSend(t *testing.T) {
-	e := NewEngine(1)
+	e := newTestEngine(1)
 	var at int64
 	e.Run(func(p *Proc) {
 		p.Send(0, 77, "timer")
@@ -210,7 +230,7 @@ func TestSelfSend(t *testing.T) {
 }
 
 func TestTryRecvDoesNotAdvance(t *testing.T) {
-	e := NewEngine(2)
+	e := newTestEngine(2)
 	e.Run(func(p *Proc) {
 		if p.ID == 0 {
 			p.Send(1, 500, "later")
@@ -228,7 +248,7 @@ func TestTryRecvDoesNotAdvance(t *testing.T) {
 }
 
 func TestPendingArrival(t *testing.T) {
-	e := NewEngine(2)
+	e := newTestEngine(2)
 	e.Run(func(p *Proc) {
 		if p.ID == 0 {
 			p.Send(1, 40, 1)
@@ -252,7 +272,7 @@ func TestQuickCompletionTime(t *testing.T) {
 		if len(raw) > 8 {
 			raw = raw[:8]
 		}
-		e := NewEngine(len(raw))
+		e := newTestEngine(len(raw))
 		want := int64(0)
 		for _, steps := range raw {
 			var sum int64
@@ -263,18 +283,31 @@ func TestQuickCompletionTime(t *testing.T) {
 				want = sum
 			}
 		}
-		monotonic := true
+		// One monotonicity slot per processor: under the forced-parallel
+		// scheduler the bodies run concurrently, so they must not share
+		// a flag.
+		mono := make([]bool, len(raw))
 		finish := e.Run(func(p *Proc) {
 			last := int64(0)
+			ok := true
 			for _, s := range raw[p.ID] {
 				p.Advance(stats.Task, int64(s%1000))
 				if p.Now() < last {
-					monotonic = false
+					ok = false
 				}
 				last = p.Now()
 			}
+			mono[p.ID] = ok
 		})
-		return finish == want && monotonic
+		if finish != want {
+			return false
+		}
+		for _, ok := range mono {
+			if !ok {
+				return false
+			}
+		}
+		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
@@ -292,12 +325,17 @@ func TestQuickMessageDelivery(t *testing.T) {
 		if len(lat) > 64 {
 			lat = lat[:64]
 		}
-		e := NewEngine(2)
+		e := newTestEngine(2)
 		ok := true
 		e.Run(func(p *Proc) {
 			if p.ID == 0 {
 				for _, l := range lat {
-					p.Send(1, int64(l), int64(l))
+					// Latency at least 1: the forced-parallel mode runs
+					// each processor as its own conflict domain with a
+					// lookahead of 1, which zero-latency sends would
+					// violate.
+					d := int64(l%1000) + 1
+					p.Send(1, d, d)
 					p.Advance(stats.Task, 1)
 				}
 			} else {

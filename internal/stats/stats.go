@@ -509,6 +509,49 @@ func (r *Run) Reset() {
 	r.Measured = nil
 }
 
+// Sub subtracts a baseline snapshot from the counters, field-wise. Every
+// Proc field is an additive counter, so state(t2).Sub(state(t1)) yields
+// exactly the activity accumulated in between. The protocol layer's
+// statistics fence uses this to implement mid-run resets as baseline
+// subtraction: the reset records a snapshot at the fence position and the
+// final counters are differenced once at the end of the run, which keeps
+// the live counters append-only and therefore identical under the serial
+// and parallel schedulers.
+func (p *Proc) Sub(base *Proc) {
+	for c := range p.TimeBy {
+		p.TimeBy[c] -= base.TimeBy[c]
+	}
+	for k := range p.Misses {
+		p.Misses[k][0] -= base.Misses[k][0]
+		p.Misses[k][1] -= base.Misses[k][1]
+	}
+	p.MergedMisses -= base.MergedMisses
+	p.LocalHits -= base.LocalHits
+	for c := range p.Messages {
+		p.Messages[c] -= base.Messages[c]
+	}
+	for n := range p.Downgrades {
+		p.Downgrades[n] -= base.Downgrades[n]
+	}
+	p.ReadLatencySum -= base.ReadLatencySum
+	p.ReadLatencyCount -= base.ReadLatencyCount
+	p.ChecksExecuted -= base.ChecksExecuted
+	p.FalseMisses -= base.FalseMisses
+	p.StallEvents -= base.StallEvents
+	p.HandlerCycles -= base.HandlerCycles
+	p.HandlerEvents -= base.HandlerEvents
+	p.LockHoldCycles -= base.LockHoldCycles
+	p.LockAcquires -= base.LockAcquires
+	p.DowngradeCycles -= base.DowngradeCycles
+	for k := range p.MissLatency {
+		for d := range p.MissLatency[k] {
+			for b := range p.MissLatency[k][d] {
+				p.MissLatency[k][d][b] -= base.MissLatency[k][d][b]
+			}
+		}
+	}
+}
+
 // MissLatencyBy sums the latency histogram of one miss kind and home
 // distance (0 local node, 1 remote) across processors.
 func (r *Run) MissLatencyBy(kind MissKind, dist int) (buckets [NumLatencyBuckets]int64, count int64) {

@@ -1,0 +1,96 @@
+package shasta_test
+
+// The parallel scheduler's contract is bit-identical results: for every
+// application, a run under the conservative window-based parallel scheduler
+// must produce exactly the trace bytes, metrics bytes, cycle count and
+// checksum of the serial run. This test enforces the contract end to end
+// over all nine applications at 8 processors (two SMP nodes, so the
+// parallel runs genuinely use concurrent windows).
+
+import (
+	"bytes"
+	"testing"
+
+	"repro"
+	"repro/internal/apps"
+	"repro/internal/obsv"
+)
+
+// observedRun executes one application and serializes its observable
+// artifacts: the trace JSONL bytes, the metrics JSON bytes, the parallel
+// cycle count, and the workload checksum.
+func observedRun(t *testing.T, app string, parallel bool) (trace, metrics []byte, cycles int64, sum float64) {
+	t.Helper()
+	f, ok := apps.Registry[app]
+	if !ok {
+		t.Fatalf("unknown application %q", app)
+	}
+	col := &shasta.CollectorTracer{}
+	cfg := shasta.Config{Procs: 8, Clustering: 4, Parallel: parallel}
+	r, err := apps.ExecuteObserved(f(1), cfg, false, col)
+	if err != nil {
+		t.Fatalf("%s (parallel=%v): %v", app, parallel, err)
+	}
+	var tb bytes.Buffer
+	if err := obsv.WriteHeader(&tb); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range col.Events {
+		if err := obsv.WriteEvent(&tb, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var mb bytes.Buffer
+	if err := r.Metrics.WriteJSON(&mb); err != nil {
+		t.Fatal(err)
+	}
+	return tb.Bytes(), mb.Bytes(), r.Result.ParallelCycles, r.Checksum
+}
+
+func TestParallelSchedulerBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all nine applications twice")
+	}
+	for _, app := range apps.Names {
+		t.Run(app, func(t *testing.T) {
+			sTrace, sMetrics, sCycles, sSum := observedRun(t, app, false)
+			pTrace, pMetrics, pCycles, pSum := observedRun(t, app, true)
+			if sCycles != pCycles {
+				t.Errorf("cycles differ: serial %d, parallel %d", sCycles, pCycles)
+			}
+			if sSum != pSum {
+				t.Errorf("checksums differ: serial %v, parallel %v", sSum, pSum)
+			}
+			if !bytes.Equal(sMetrics, pMetrics) {
+				t.Errorf("metrics JSON differs (%d vs %d bytes):\n--- serial ---\n%s\n--- parallel ---\n%s",
+					len(sMetrics), len(pMetrics), firstDiffContext(sMetrics, pMetrics), firstDiffContext(pMetrics, sMetrics))
+			}
+			if !bytes.Equal(sTrace, pTrace) {
+				t.Errorf("trace bytes differ (%d vs %d bytes); first divergence:\n%s",
+					len(sTrace), len(pTrace), firstDiffContext(sTrace, pTrace))
+			}
+		})
+	}
+}
+
+// firstDiffContext renders the region around the first differing byte so a
+// determinism regression is diagnosable from the test log.
+func firstDiffContext(a, b []byte) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	lo := i - 120
+	if lo < 0 {
+		lo = 0
+	}
+	hi := i + 120
+	if hi > len(a) {
+		hi = len(a)
+	}
+	return string(a[lo:hi])
+}

@@ -187,6 +187,12 @@ type Config struct {
 	// state tables show they accessed the block — the SoftFLASH TLB
 	// shootdown behaviour, as an ablation of the private state tables.
 	BroadcastDowngrades bool
+	// Parallel runs the simulation on the engine's conservative
+	// window-based parallel scheduler: the processors of different SMP
+	// nodes execute concurrently on real cores. Every result — cycles,
+	// statistics, traces, metrics — is bit-identical to the default
+	// serial scheduler's; only host wall-clock time changes.
+	Parallel bool
 }
 
 // Cluster is a configured simulated cluster. Allocate shared data and
@@ -225,6 +231,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		ShareDirectory:      cfg.ShareDirectory,
 		FastSync:            cfg.FastSync,
 		BroadcastDowngrades: cfg.BroadcastDowngrades,
+		Parallel:            cfg.Parallel,
 	}.WithDefaults()
 	if err := pcfg.Validate(); err != nil {
 		return nil, fmt.Errorf("shasta: %w", err)
