@@ -17,4 +17,4 @@ test:
 	go build ./... && go test ./...
 
 bench:
-	go test -bench . -benchmem
+	go test -bench . -benchmem ./...

@@ -12,6 +12,9 @@
 //	shastatrace critpath <trace.jsonl>...
 //	shastatrace export-chrome <trace.jsonl>...
 //	shastatrace check <trace.jsonl>...
+//	shastatrace blocks [-n N] <metrics.json>
+//	shastatrace falseshare <metrics.json>
+//	shastatrace advise <metrics.json>
 //
 // Multiple trace files are read in order and concatenated, so rotated
 // segments (trace.jsonl trace.1.jsonl ...) can be passed together.
@@ -39,19 +42,33 @@ import (
 	"repro/internal/protocol"
 )
 
-const usageText = `usage:
-  shastatrace summarize <trace.jsonl>...
-  shastatrace filter [-p procs] [-op ops] [-blk lo-hi,...] [-sample N] <trace.jsonl>...
-  shastatrace timeline <block> <trace.jsonl>...
-  shastatrace diff <a.jsonl> <b.jsonl>
-  shastatrace breakdown <metrics.json | trace.jsonl>...
-  shastatrace hist <metrics.json | trace.jsonl>...
-  shastatrace critpath <trace.jsonl>...
-  shastatrace export-chrome <trace.jsonl>...
-  shastatrace check <trace.jsonl>...
+const usageText = `usage: shastatrace <command> [args]
 
-exit status: 0 success; 1 difference or invariant violation found;
-2 usage, I/O or schema error
+trace analysis (one or more trace.jsonl segments, concatenated in order):
+  summarize <trace.jsonl>...      per-op and per-processor event counts and spans
+  filter [flags] <trace.jsonl>... select events by -p procs, -op ops, -blk ranges,
+                                  -sample 1-in-N; emits a filtered trace
+  timeline <block> <trace.jsonl>...  one block's protocol history, in order
+  diff <a.jsonl> <b.jsonl>        compare two trace summaries
+  critpath <trace.jsonl>...       longest causal chain through the run
+  export-chrome <trace.jsonl>...  chrome://tracing JSON of the trace
+  check <trace.jsonl>...          replay the trace through the invariant checker
+
+profiles (metrics.json exact, or approximated from a bare trace):
+  breakdown <file>...             per-processor execution-time profile
+  hist <file>...                  miss round-trip latency histograms
+
+sharing observatory (metrics.json only):
+  blocks [-n N] <metrics.json>    top-N hot blocks with sharing-pattern labels
+  falseshare <metrics.json>       per-writer sub-block offset evidence for
+                                  falsely-shared blocks
+  advise <metrics.json>           home-placement and block-size recommendations
+                                  with estimated cycle savings
+
+exit status:
+  0  success
+  1  analysis found a difference or an invariant violation (diff, check)
+  2  usage, I/O or schema error
 `
 
 // usageError aborts a subcommand with exit status 2; any other error also
@@ -388,6 +405,64 @@ func cmdCheck(args []string, stdout io.Writer) (int, error) {
 	return 0, nil
 }
 
+// metricsDoc reads the single metrics document the observatory subcommands
+// operate on, requiring a non-empty blocks section.
+func metricsDoc(cmd string, args []string) (*obsv.Snapshot, error) {
+	if len(args) != 1 {
+		return nil, usageError{cmd + " needs exactly one metrics file"}
+	}
+	doc, err := readDoc(args[0])
+	if err != nil {
+		return nil, err
+	}
+	if doc.snap == nil {
+		return nil, usageError{cmd + " needs a metrics document, not a trace"}
+	}
+	if len(doc.snap.Blocks) == 0 {
+		return nil, fmt.Errorf("metrics document has no blocks section (pre-observatory snapshot, or a run with no attributed block activity)")
+	}
+	return doc.snap, nil
+}
+
+// cmdBlocks renders the top-N rows of the blocks section: the hottest
+// coherence blocks with their classified sharing patterns.
+func cmdBlocks(args []string, stdout, stderr io.Writer) (int, error) {
+	fs := flag.NewFlagSet("blocks", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	n := fs.Int("n", 20, "number of blocks to show (0 = all recorded)")
+	if err := fs.Parse(args); err != nil {
+		return 2, usageError{err.Error()}
+	}
+	snap, err := metricsDoc("blocks", fs.Args())
+	if err != nil {
+		return 2, err
+	}
+	fmt.Fprint(stdout, obsv.FormatBlocks(snap, *n))
+	return 0, nil
+}
+
+// cmdFalseshare renders the offset-overlap evidence for blocks the
+// classifier flagged as falsely shared.
+func cmdFalseshare(args []string, stdout io.Writer) (int, error) {
+	snap, err := metricsDoc("falseshare", args)
+	if err != nil {
+		return 2, err
+	}
+	fmt.Fprint(stdout, obsv.FormatFalseShare(snap))
+	return 0, nil
+}
+
+// cmdAdvise renders the placement advisor's home and block-size
+// recommendations.
+func cmdAdvise(args []string, stdout io.Writer) (int, error) {
+	snap, err := metricsDoc("advise", args)
+	if err != nil {
+		return 2, err
+	}
+	fmt.Fprint(stdout, obsv.FormatAdvice(snap))
+	return 0, nil
+}
+
 // run dispatches a full command line (without the program name) and returns
 // the process exit status, writing all output to the given streams.
 func run(args []string, stdout, stderr io.Writer) int {
@@ -399,6 +474,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var code int
 	var err error
 	switch cmd {
+	case "-h", "--help", "help":
+		fmt.Fprint(stdout, usageText)
+		return 0
 	case "summarize":
 		code, err = cmdSummarize(rest, stdout)
 	case "filter":
@@ -417,6 +495,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		code, err = cmdExportChrome(rest, stdout)
 	case "check":
 		code, err = cmdCheck(rest, stdout)
+	case "blocks":
+		code, err = cmdBlocks(rest, stdout, stderr)
+	case "falseshare":
+		code, err = cmdFalseshare(rest, stdout)
+	case "advise":
+		code, err = cmdAdvise(rest, stdout)
 	default:
 		fmt.Fprint(stderr, usageText)
 		return 2

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro"
+	"repro/internal/apps"
 	"repro/internal/obsv"
 	"repro/internal/protocol"
 )
@@ -37,6 +38,40 @@ func fixtureRun(tr shasta.Tracer) *shasta.Cluster {
 	return cluster
 }
 
+// threehopRun is a placement-adverse workload for the advisor fixture: one
+// page homed at processor 0 (node 0) whose single hot block is repeatedly
+// written by processor 7 (node 1) and read by node 0's processors. Every
+// node-0 read miss is a 3-hop forward through the misplaced home; homing the
+// page on node 1 would serve the same traffic in 2 hops.
+func threehopRun() *shasta.Cluster {
+	cluster := shasta.MustCluster(shasta.Config{Procs: 8, Clustering: 4})
+	arr := cluster.Alloc(256, 64)
+	cluster.Run(func(p *shasta.Proc) {
+		for round := 0; round < 8; round++ {
+			if p.ID() == 7 {
+				p.StoreF64(arr, float64(round))
+			}
+			p.Barrier()
+			if p.ID() < 4 {
+				_ = p.LoadF64(arr)
+			}
+			p.Barrier()
+		}
+	})
+	return cluster
+}
+
+func writeMetrics(t *testing.T, path string, m *shasta.Metrics) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func writeTrace(t *testing.T, path string, events []protocol.TraceEvent) {
 	t.Helper()
 	var buf bytes.Buffer
@@ -60,19 +95,24 @@ func writeTrace(t *testing.T, path string, events []protocol.TraceEvent) {
 //	filtered.jsonl the trace filtered to its busiest block (a gapped trace)
 //	corrupt.jsonl  the trace with a DataReply send removed and seqs
 //	               renumbered — an invariant violation check must catch
+//	threehop.json  metrics of the placement-adverse threehopRun workload
+//	lu256.json     metrics of LU at 256-byte lines (the paper's
+//	               false-sharing granularity for LU)
 func regenFixtures(t *testing.T) {
 	t.Helper()
 	col := &shasta.CollectorTracer{}
 	cluster := fixtureRun(col)
 	writeTrace(t, "testdata/small.jsonl", col.Events)
+	writeMetrics(t, "testdata/bench.json", cluster.Metrics())
 
-	var mbuf bytes.Buffer
-	if err := cluster.Metrics().WriteJSON(&mbuf); err != nil {
+	writeMetrics(t, "testdata/threehop.json", threehopRun().Metrics())
+
+	r, err := apps.ExecuteObserved(apps.Registry["LU"](1),
+		shasta.Config{Procs: 8, Clustering: 4, LineSize: 256}, false, nil)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile("testdata/bench.json", mbuf.Bytes(), 0o644); err != nil {
-		t.Fatal(err)
-	}
+	writeMetrics(t, "testdata/lu256.json", r.Metrics)
 
 	byBlk := map[int]int{}
 	for _, e := range col.Events {
@@ -135,6 +175,12 @@ func TestGolden(t *testing.T) {
 		{"check-corrupt", []string{"check", "testdata/corrupt.jsonl"}, 1},
 		{"check-gapped", []string{"check", "testdata/filtered.jsonl"}, 0},
 		{"filter", []string{"filter", "-p", "4", "-op", "send,handle", "testdata/small.jsonl"}, 0},
+		{"blocks", []string{"blocks", "-n", "10", "testdata/bench.json"}, 0},
+		{"blocks-lu256", []string{"blocks", "-n", "10", "testdata/lu256.json"}, 0},
+		{"falseshare", []string{"falseshare", "testdata/bench.json"}, 0},
+		{"falseshare-lu256", []string{"falseshare", "testdata/lu256.json"}, 0},
+		{"advise", []string{"advise", "testdata/bench.json"}, 0},
+		{"advise-threehop", []string{"advise", "testdata/threehop.json"}, 0},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -205,6 +251,10 @@ func TestExitCodes(t *testing.T) {
 		{"filter-bad-flag", []string{"filter", "-sample", "x", "testdata/small.jsonl"}, 2},
 		{"diff-one-file", []string{"diff", "testdata/small.jsonl"}, 2},
 		{"mixed-metrics-trace", []string{"hist", "testdata/bench.json", "testdata/small.jsonl"}, 2},
+		{"blocks-on-trace", []string{"blocks", "testdata/small.jsonl"}, 2},
+		{"blocks-no-file", []string{"blocks"}, 2},
+		{"falseshare-two-files", []string{"falseshare", "testdata/bench.json", "testdata/threehop.json"}, 2},
+		{"advise-on-trace", []string{"advise", "testdata/small.jsonl"}, 2},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -219,14 +269,84 @@ func TestExitCodes(t *testing.T) {
 	}
 }
 
-// TestUsageDocumentsExitCodes keeps the usage text honest about the exit
-// status contract.
+// TestUsageDocumentsExitCodes keeps the usage text honest: every subcommand
+// is listed with a description and the 0/1/2 exit status contract appears.
 func TestUsageDocumentsExitCodes(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	run(nil, &stdout, &stderr)
-	for _, want := range []string{"exit status", "check", "critpath", "export-chrome", "breakdown", "hist"} {
+	for _, want := range []string{
+		"exit status", "summarize", "filter", "timeline", "diff", "check",
+		"critpath", "export-chrome", "breakdown", "hist",
+		"blocks", "falseshare", "advise",
+		"0  success", "1  analysis found", "2  usage",
+	} {
 		if !strings.Contains(stderr.String(), want) {
 			t.Errorf("usage text missing %q", want)
 		}
+	}
+}
+
+// TestHelpFlag pins -h/help: usage on stdout, exit 0.
+func TestHelpFlag(t *testing.T) {
+	for _, arg := range []string{"-h", "--help", "help"} {
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{arg}, &stdout, &stderr); code != 0 {
+			t.Errorf("%s: exit code %d, want 0", arg, code)
+		}
+		if !strings.Contains(stdout.String(), "usage:") {
+			t.Errorf("%s printed no usage on stdout", arg)
+		}
+	}
+}
+
+// TestFalseshareFlagsLU256 is the paper-grounded acceptance check: at
+// 256-byte lines, LU's row-major layout puts adjacent 16x16 blocks with
+// different 2D-cyclic owners into one coherence block, and falseshare must
+// flag at least one such block with disjoint per-writer offset evidence.
+func TestFalseshareFlagsLU256(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"falseshare", "testdata/lu256.json"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d; stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "falsely-shared block") || !strings.Contains(out, "writes") {
+		t.Fatalf("no falsely-shared block flagged:\n%s", out)
+	}
+}
+
+// TestAdviseBeatsConfiguredHome is the advisor's acceptance check: on the
+// 3-hop-heavy threehop fixture (home on node 0, owner and traffic pattern
+// favoring node 1) advise must propose a home whose hop-weighted cost beats
+// the configured one.
+func TestAdviseBeatsConfiguredHome(t *testing.T) {
+	f, err := os.Open("testdata/threehop.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snap, err := obsv.ReadSnapshot(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for i := range snap.Blocks {
+		e := &snap.Blocks[i]
+		if e.AdvisedNode != e.HomeNode && e.SavingsCycles > 0 {
+			found = true
+			if e.AdvisedCost >= e.HomeCost {
+				t.Errorf("block %d: advised cost %d does not beat home cost %d",
+					e.Block, e.AdvisedCost, e.HomeCost)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("advisor proposed no home beating the configured one on a 3-hop-heavy run")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"advise", "testdata/threehop.json"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "node1") {
+		t.Fatalf("advise output proposes no alternative home:\n%s", stdout.String())
 	}
 }

@@ -68,6 +68,7 @@ var Experiments = []Experiment{
 	{"ablate", "Design-choice ablations: line size, shared directory, fast sync, broadcast downgrades", Ablate},
 	{"profile", "Per-processor execution-time profile, measured breakdown at 8 processors", Profile},
 	{"pdes", "Serial vs parallel simulation scheduler: wall-clock comparison, bit-identity verified", Pdes},
+	{"sharing", "Sharing-pattern observatory: block classification and placement advice vs measured line-size delta", Sharing},
 }
 
 // ByID returns the experiment with the given ID.

@@ -10,7 +10,8 @@ import (
 
 func TestExperimentRegistry(t *testing.T) {
 	wantIDs := []string{"table1", "table2", "table3", "fig3", "fig4", "fig5",
-		"fig6", "fig7", "fig8", "micro", "anl", "ablate", "profile", "pdes"}
+		"fig6", "fig7", "fig8", "micro", "anl", "ablate", "profile", "pdes",
+		"sharing"}
 	if len(Experiments) != len(wantIDs) {
 		t.Fatalf("have %d experiments, want %d", len(Experiments), len(wantIDs))
 	}
@@ -96,6 +97,21 @@ func TestProfileSingleApp(t *testing.T) {
 	}
 	out := buf.String()
 	for _, want := range []string{"Volrend @8p C4", "dgrade*%", "p0", "p7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSharingSingleApp checks the sharing-observatory report structure:
+// the two line-size runs with a measured delta, and the pattern census.
+func TestSharingSingleApp(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Sharing(Options{Scale: 1, Apps: []string{"Volrend"}}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Volrend @8p C4", "64B lines", "256B lines", "measured delta", "observatory @256B", "active blocks"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q:\n%s", want, out)
 		}

@@ -145,6 +145,13 @@ type Snapshot struct {
 	// with home-node distance, e.g. "read-remote") to miss round-trip
 	// latency histograms; only non-empty histograms appear.
 	Histograms map[string]Histogram `json:"histograms,omitempty"`
+	// Blocks is the sharing-pattern observatory: the BlocksCap most active
+	// coherence blocks with per-block counters, classified sharing pattern
+	// and placement advice; BlocksTotal counts every block with attributed
+	// activity. Added in a compatible extension of metrics v1 (see
+	// OBSERVABILITY.md §7).
+	Blocks      []BlockMetrics `json:"blocks,omitempty"`
+	BlocksTotal int            `json:"blocks_total,omitempty"`
 }
 
 func timeByMap(p *stats.Proc) map[string]int64 {
@@ -281,6 +288,8 @@ func Snap(sys *protocol.System) *Snapshot {
 			s.Histograms[fmt.Sprintf("%s-%s", k, dist)] = trimHistogram(buckets, count)
 		}
 	}
+
+	s.Blocks, s.BlocksTotal = buildBlocks(sys)
 
 	s.Procs = make([]ProcMetrics, len(run.Procs))
 	for i := range run.Procs {

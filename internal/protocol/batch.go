@@ -107,6 +107,25 @@ func (p *Proc) Batch(refs []BatchRef, f func(*Batch)) {
 			base, lines := lay.BlockOf(lay.LineAddr(li))
 			n := needs[base]
 			n.store = n.store || r.Store
+			// The slots this reference's range covers within the block,
+			// for the observatory's access masks. A reference is declared
+			// conservatively, so this over-approximates the accesses the
+			// batched body actually performs — deterministically so.
+			bs := lay.LineAddr(base)
+			be := bs + memory.Addr(lines*lay.LineSize())
+			lo, hi := r.Base, r.Base+memory.Addr(r.Bytes)
+			if lo < bs {
+				lo = bs
+			}
+			if hi > be {
+				hi = be
+			}
+			m := stats.SlotMask(lines*lay.LineSize(), int64(lo-bs), int64(hi-bs))
+			if r.Store {
+				n.wrMask |= m
+			} else {
+				n.rdMask |= m
+			}
 			needs[base] = n
 			li = base + lines
 		}
@@ -160,6 +179,11 @@ func (p *Proc) batchMiss(bases []int, needs map[int]need2) {
 	c := p.sys.cfg.Costs
 	p.charge(stats.Task, c.Entry)
 	p.trace("batch", "", -1, "%d blocks", len(bases))
+	for _, base := range bases {
+		b := p.blockStat(base)
+		b.ReadMask |= needs[base].rdMask
+		b.WriteMask |= needs[base].wrMask
+	}
 	// Mark all blocks first so the invalid-flag store for any block
 	// invalidated while the handler waits is deferred until the batch
 	// ends, keeping batched loads correct (the paper's batch markers).
@@ -329,9 +353,13 @@ func (p *Proc) upgradePrivate(base int, store bool) {
 	}
 }
 
-// need2 mirrors the anonymous need struct of Batch (Go cannot reference a
-// function-local type from another function).
-type need2 = struct{ store bool }
+// need2 carries one block's batched requirements: whether any reference
+// stores to it, and the sub-block slots the batch's reference ranges cover,
+// recorded into the per-block access masks when the batch misses.
+type need2 struct {
+	store          bool
+	rdMask, wrMask uint64
+}
 
 // batchEnd removes the batch markers and completes any invalid-flag stores
 // that were deferred while the batch ran.

@@ -378,6 +378,9 @@ func (p *Proc) sendInvals(base int, targets uint32, requester int, seq int64) {
 		fmt.Printf("[blk%d @%d] proc %d sends invals to %x for R%d seq %d\n",
 			base, p.sp.Now(), p.id, targets, requester, seq)
 	}
+	if targets != 0 {
+		p.blockStat(base).InvalsSent += int64(bits.OnesCount32(targets))
+	}
 	for t := 0; targets != 0; t++ {
 		if targets&1 != 0 {
 			p.send(t, &pmsg{kind: mInval, baseLine: base, requester: requester,
@@ -584,6 +587,7 @@ func (p *Proc) handleInval(m *pmsg) {
 	c := p.sys.cfg.Costs
 	p.charge(stats.Message, c.InvalHandler)
 	base, R := m.baseLine, m.requester
+	p.blockStat(base).InvalsRecv++
 	p.lockBlock(base)
 	if m.seq <= p.grp.copySeq[base] {
 		// Stale invalidation: it belongs to a write transaction
@@ -708,6 +712,7 @@ func (p *Proc) handleDataReply(m *pmsg) {
 		panic(fmt.Sprintf("protocol: unexpected data reply for block %d at proc %d", base, p.id))
 	}
 	p.st.Misses[stats.ReadMiss][m.hops-2]++
+	p.blockStat(base).Misses[stats.ReadMiss][m.hops-2]++
 	if m.seq < p.grp.copySeq[base] {
 		queued := p.superseded(entry)
 		p.unlockBlock(base)
@@ -756,6 +761,7 @@ func (p *Proc) handleDataExclReply(m *pmsg) {
 		panic(fmt.Sprintf("protocol: unexpected exclusive reply for block %d at proc %d", base, p.id))
 	}
 	p.st.Misses[entry.kind][m.hops-2]++
+	p.blockStat(base).Misses[entry.kind][m.hops-2]++
 	if m.seq < p.grp.copySeq[base] {
 		queued := p.superseded(entry)
 		p.unlockBlock(base)
@@ -798,6 +804,7 @@ func (p *Proc) handleUpgradeAck(m *pmsg) {
 		panic(fmt.Sprintf("protocol: unexpected upgrade ack for block %d at proc %d", base, p.id))
 	}
 	p.st.Misses[stats.UpgradeMiss][m.hops-2]++
+	p.blockStat(base).Misses[stats.UpgradeMiss][m.hops-2]++
 	if m.seq < p.grp.copySeq[base] {
 		queued := p.superseded(entry)
 		p.unlockBlock(base)
@@ -939,6 +946,9 @@ func (p *Proc) startDowngrade(base int, target, preState memory.State, action fu
 			n = stats.MaxDowngradeFanout
 		}
 		p.st.Downgrades[n]++
+		bs := p.blockStat(base)
+		bs.Downgrades++
+		bs.DowngradeMsgs += int64(len(recipients))
 	}
 	if len(recipients) == 0 {
 		action(p)

@@ -264,7 +264,8 @@ func (p *Proc) rawWrite(addr memory.Addr, size int, v uint64) {
 func (p *Proc) loadMiss(addr memory.Addr, size int) uint64 {
 	c := p.sys.cfg.Costs
 	p.charge(stats.Task, c.Entry)
-	base, _ := p.sys.lay.BlockOf(addr)
+	base, lines := p.sys.lay.BlockOf(addr)
+	p.markAccess(base, lines, addr, size, false)
 	if debugTraceBlock >= 0 && base == debugTraceBlock {
 		fmt.Printf("[blk%d @%d] proc %d loadMiss addr %d: state %v entry %v\n",
 			base, p.sp.Now(), p.id, addr, p.grp.img.State(base), p.grp.miss[base] != nil)
@@ -410,7 +411,8 @@ func (p *Proc) store(addr memory.Addr, size int, v uint64) {
 func (p *Proc) storeMiss(addr memory.Addr, size int, v uint64) {
 	c := p.sys.cfg.Costs
 	p.charge(stats.Task, c.Entry)
-	base, _ := p.sys.lay.BlockOf(addr)
+	base, lines := p.sys.lay.BlockOf(addr)
+	p.markAccess(base, lines, addr, size, true)
 	for {
 		p.lockBlock(base)
 		// Merge with an existing pending request for the block: record
@@ -538,4 +540,28 @@ func (p *Proc) newMissEntry(base int, kind stats.MissKind) *missEntry {
 	}
 	p.grp.miss[base] = e
 	return e
+}
+
+// blockStat returns this processor's per-block counter shard for a block.
+// Every per-block update goes through the executing processor's own
+// stats.Proc, which keeps the counters race-free under the parallel
+// scheduler and append-only for the determinism contract.
+func (p *Proc) blockStat(base int) *stats.BlockStat {
+	return p.st.Block(base)
+}
+
+// markAccess records the sub-block slots a missing access touched in the
+// block's read or write mask, the observatory's false-sharing evidence.
+// Aligned scalar accesses are at most 8 bytes, so an access marks one slot
+// (or two when it straddles a slot boundary).
+func (p *Proc) markAccess(base, lines int, addr memory.Addr, size int, write bool) {
+	blockBytes := lines * p.sys.lay.LineSize()
+	lo := int64(addr - p.sys.lay.LineAddr(base))
+	m := stats.SlotMask(blockBytes, lo, lo+int64(size))
+	b := p.blockStat(base)
+	if write {
+		b.WriteMask |= m
+	} else {
+		b.ReadMask |= m
+	}
 }

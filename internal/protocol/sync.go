@@ -212,7 +212,9 @@ func (p *Proc) ResetStats() {
 	sys := p.sys
 	t := p.sp.Now()
 	p.sp.Fence(func(q int, at *stats.Proc) {
-		sys.statBase[q] = *at
+		// Clone, not a struct copy: the baseline must not alias the live
+		// per-block counter map.
+		sys.statBase[q] = at.Clone()
 		if q == p.id {
 			sys.stats.Cycles = 0
 			sys.stats.Measured = nil

@@ -293,6 +293,12 @@ func (s *System) Layout() *memory.Layout { return s.lay }
 // NumProcs returns the processor count.
 func (s *System) NumProcs() int { return s.cfg.NumProcs }
 
+// HomeOf returns the home processor of the block with the given base line,
+// for observability code that relates per-block activity to placement.
+func (s *System) HomeOf(baseLine int) int {
+	return s.homeProc(s.lay.LineAddr(baseLine))
+}
+
 // groupOf returns the sharing group of processor p.
 func (s *System) groupOf(p int) *group { return s.procs[p].grp }
 

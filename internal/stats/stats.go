@@ -236,6 +236,134 @@ type Proc struct {
 	// MissLatency[kind][1] for a remote home. Buckets are the fixed
 	// power-of-two ranges of LatencyBucket.
 	MissLatency [NumMissKinds][2][NumLatencyBuckets]int64
+
+	// Blocks attributes this processor's protocol activity to individual
+	// coherence blocks, keyed by block base line. Each processor updates
+	// only its own shard, so the per-block counters stay race-free under
+	// the parallel scheduler and append-only for the determinism contract;
+	// the obsv layer aggregates shards across processors at snapshot time.
+	// Allocated lazily by Block.
+	Blocks map[int]*BlockStat
+}
+
+// BlockStat accumulates one processor's protocol activity on a single
+// coherence block. Like every other Proc field the counters are append-only:
+// mid-run resets are baseline subtractions (see Sub), never in-place clears.
+type BlockStat struct {
+	// Misses counts this processor's shared misses on the block,
+	// classified like Proc.Misses: by request type, and by whether the
+	// reply came in 2 hops (index 0) or 3 hops (index 1).
+	Misses [NumMissKinds][2]int64
+
+	// InvalsRecv counts invalidation messages this processor handled for
+	// the block; InvalsSent counts invalidations it sent on the block's
+	// behalf while serving a request for exclusive ownership.
+	InvalsRecv int64
+	InvalsSent int64
+
+	// Downgrades counts intra-group block downgrades this processor
+	// initiated for the block, and DowngradeMsgs the downgrade messages
+	// they required (SMP-Shasta only).
+	Downgrades    int64
+	DowngradeMsgs int64
+
+	// ReadMask and WriteMask record which of the block's sub-block slots
+	// (see BlockSlots) this processor's missing loads and stores touched.
+	// The masks grow monotonically by bitwise OR, which is commutative, so
+	// they are identical under the serial and parallel schedulers; unlike
+	// the counters they are not subtractable and therefore remain
+	// cumulative from the start of the run across ResetStats.
+	ReadMask  uint64
+	WriteMask uint64
+}
+
+// MissTotal returns the block's total miss count across kinds and hops.
+func (b *BlockStat) MissTotal() int64 {
+	var t int64
+	for k := range b.Misses {
+		t += b.Misses[k][0] + b.Misses[k][1]
+	}
+	return t
+}
+
+// countsZero reports whether every counter (not mask) is zero; such entries
+// carry no activity for the measured phase and are dropped by Sub.
+func (b *BlockStat) countsZero() bool {
+	for k := range b.Misses {
+		if b.Misses[k][0] != 0 || b.Misses[k][1] != 0 {
+			return false
+		}
+	}
+	return b.InvalsRecv == 0 && b.InvalsSent == 0 &&
+		b.Downgrades == 0 && b.DowngradeMsgs == 0
+}
+
+// Block returns the per-block shard for the block with the given base line,
+// allocating it (and the Blocks map) on first touch.
+func (p *Proc) Block(base int) *BlockStat {
+	b := p.Blocks[base]
+	if b == nil {
+		if p.Blocks == nil {
+			p.Blocks = make(map[int]*BlockStat)
+		}
+		b = &BlockStat{}
+		p.Blocks[base] = b
+	}
+	return b
+}
+
+// Clone returns a deep copy of the counters. The statistics fence callback
+// must use it when recording baselines: a shallow struct copy would alias the
+// live Blocks map and the end-of-run subtraction would then zero itself out.
+func (p *Proc) Clone() Proc {
+	c := *p
+	if p.Blocks != nil {
+		c.Blocks = make(map[int]*BlockStat, len(p.Blocks))
+		for base, b := range p.Blocks {
+			cb := *b
+			c.Blocks[base] = &cb
+		}
+	}
+	return c
+}
+
+// BlockSlots returns the sub-block resolution of the per-block access masks
+// for a block of blockBytes: the block divides into slots chunks of
+// slotBytes each. slotBytes is blockBytes/64 but at least 8 (one longword),
+// so a mask always fits in a uint64; at the paper's granularities a 64-byte
+// block gets 8 slots of 8 bytes and a 256-byte block 32 slots of 8 bytes.
+func BlockSlots(blockBytes int) (slots, slotBytes int) {
+	slotBytes = blockBytes / 64
+	if slotBytes < 8 {
+		slotBytes = 8
+	}
+	slots = (blockBytes + slotBytes - 1) / slotBytes
+	if slots > 64 {
+		slots = 64
+	}
+	return slots, slotBytes
+}
+
+// SlotMask returns the access-mask bits covering the block-relative byte
+// range [lo, hi) of a block of blockBytes.
+func SlotMask(blockBytes int, lo, hi int64) uint64 {
+	if hi <= lo {
+		return 0
+	}
+	_, sb := BlockSlots(blockBytes)
+	first := int(lo) / sb
+	last := int(hi-1) / sb
+	if first > 63 {
+		first = 63
+	}
+	if last > 63 {
+		last = 63
+	}
+	var m uint64
+	for s := first; s <= last; s++ {
+		m |= 1 << uint(s)
+	}
+	return m
 }
 
 // RecordMissLatency adds one miss round trip to the latency histograms.
@@ -548,6 +676,27 @@ func (p *Proc) Sub(base *Proc) {
 			for b := range p.MissLatency[k][d] {
 				p.MissLatency[k][d][b] -= base.MissLatency[k][d][b]
 			}
+		}
+	}
+	// Per-block counters subtract entry-wise; the offset masks are
+	// OR-monotone rather than additive and stay cumulative (see BlockStat).
+	// Entries with zero net counts and no recorded offsets carry no
+	// evidence and are dropped; entries with masks survive even at zero
+	// counts — a writer whose stores all hit locally still identifies who
+	// writes which offsets, which is exactly the false-sharing evidence.
+	for blk, b := range p.Blocks {
+		if bb, ok := base.Blocks[blk]; ok {
+			for k := range b.Misses {
+				b.Misses[k][0] -= bb.Misses[k][0]
+				b.Misses[k][1] -= bb.Misses[k][1]
+			}
+			b.InvalsRecv -= bb.InvalsRecv
+			b.InvalsSent -= bb.InvalsSent
+			b.Downgrades -= bb.Downgrades
+			b.DowngradeMsgs -= bb.DowngradeMsgs
+		}
+		if b.countsZero() && b.ReadMask == 0 && b.WriteMask == 0 {
+			delete(p.Blocks, blk)
 		}
 	}
 }

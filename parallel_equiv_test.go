@@ -9,6 +9,7 @@ package shasta_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"testing"
 
 	"repro"
@@ -69,8 +70,35 @@ func TestParallelSchedulerBitIdentical(t *testing.T) {
 				t.Errorf("trace bytes differ (%d vs %d bytes); first divergence:\n%s",
 					len(sTrace), len(pTrace), firstDiffContext(sTrace, pTrace))
 			}
+			// The per-block sharing counters are the newest and most
+			// order-sensitive part of the snapshot (mask ORs, per-proc
+			// attribution), so the blocks section gets its own explicit
+			// byte-identity check in addition to the whole-document one.
+			sBlocks := blocksSection(t, sMetrics)
+			pBlocks := blocksSection(t, pMetrics)
+			if len(sBlocks.Blocks) == 0 || sBlocks.BlocksTotal == 0 {
+				t.Errorf("serial metrics have no blocks section (blocks_total=%d)", sBlocks.BlocksTotal)
+			}
+			if !bytes.Equal(sBlocks.Blocks, pBlocks.Blocks) || sBlocks.BlocksTotal != pBlocks.BlocksTotal {
+				t.Errorf("blocks section differs: serial %d bytes total=%d, parallel %d bytes total=%d:\n%s",
+					len(sBlocks.Blocks), sBlocks.BlocksTotal, len(pBlocks.Blocks), pBlocks.BlocksTotal,
+					firstDiffContext(sBlocks.Blocks, pBlocks.Blocks))
+			}
 		})
 	}
+}
+
+// blocksSection extracts the raw blocks array and its total from a metrics
+// document without interpreting the entries.
+func blocksSection(t *testing.T, metrics []byte) (s struct {
+	Blocks      json.RawMessage `json:"blocks"`
+	BlocksTotal int             `json:"blocks_total"`
+}) {
+	t.Helper()
+	if err := json.Unmarshal(metrics, &s); err != nil {
+		t.Fatalf("metrics JSON: %v", err)
+	}
+	return s
 }
 
 // firstDiffContext renders the region around the first differing byte so a

@@ -1,0 +1,133 @@
+package shasta_test
+
+// Acceptance tests for the sharing observatory (OBSERVABILITY.md section 7):
+// on LU at 256-byte lines the false-sharing detector must flag blocks with
+// disjoint per-writer sub-block offsets, and on a 3-hop-heavy run the
+// placement advisor must propose a home that beats the configured one — with
+// identical diagnoses under serial and parallel scheduling.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro"
+	"repro/internal/apps"
+	"repro/internal/obsv"
+)
+
+// luSnapshot runs LU at 8 processors, clustering 4, 256-byte lines and
+// returns its metrics snapshot.
+func luSnapshot(t *testing.T, parallel bool) *shasta.Metrics {
+	t.Helper()
+	cfg := shasta.Config{Procs: 8, Clustering: 4, LineSize: 256, Parallel: parallel}
+	r, err := apps.ExecuteObserved(apps.Registry["LU"](1), cfg, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Metrics
+}
+
+// TestLU256FalseSharingDetected asserts the headline diagnosis: LU's
+// row-major matrix with 2D-cyclic 16x16 block ownership puts two owners'
+// disjoint halves into every 256-byte coherence block, and the observatory
+// must flag at least one such block with the offset evidence.
+func TestLU256FalseSharingDetected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs LU twice at 256-byte lines")
+	}
+	serial := luSnapshot(t, false)
+	flagged := 0
+	for i := range serial.Blocks {
+		e := &serial.Blocks[i]
+		if e.Pattern != obsv.PatternFalselyShared {
+			continue
+		}
+		flagged++
+		// The evidence must be disjoint nonzero writer masks, not just
+		// the label.
+		writers := 0
+		var union, overlap uint64
+		for _, a := range e.Accesses {
+			m := obsv.ParseMask(a.WriteMask)
+			if m == 0 {
+				continue
+			}
+			writers++
+			overlap |= union & m
+			union |= m
+		}
+		if writers < 2 {
+			t.Errorf("block %d flagged falsely-shared with %d mask-bearing writers", e.Block, writers)
+		}
+		if overlap != 0 {
+			t.Errorf("block %d flagged falsely-shared but writer masks overlap (0x%x)", e.Block, overlap)
+		}
+	}
+	if flagged == 0 {
+		t.Fatal("no falsely-shared block flagged on LU at 256-byte lines")
+	}
+
+	parallel := luSnapshot(t, true)
+	var sb, pb bytes.Buffer
+	if err := serial.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.WriteJSON(&pb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+		t.Error("LU@256 metrics differ between serial and parallel scheduling")
+	}
+	if obsv.FormatFalseShare(serial) != obsv.FormatFalseShare(parallel) {
+		t.Error("falseshare report differs between serial and parallel scheduling")
+	}
+}
+
+// threehopSnapshot reproduces the shastatrace threehop fixture workload: a
+// block homed on node 0, written by processor 7 (node 1) and read by node
+// 0's processors, so every node-0 read miss takes 3 hops through the
+// misplaced home.
+func threehopSnapshot(t *testing.T, parallel bool) *shasta.Metrics {
+	t.Helper()
+	cluster := shasta.MustCluster(shasta.Config{Procs: 8, Clustering: 4, Parallel: parallel})
+	arr := cluster.Alloc(256, 64)
+	cluster.Run(func(p *shasta.Proc) {
+		for round := 0; round < 8; round++ {
+			if p.ID() == 7 {
+				p.StoreF64(arr, float64(round))
+			}
+			p.Barrier()
+			if p.ID() < 4 {
+				_ = p.LoadF64(arr)
+			}
+			p.Barrier()
+		}
+	})
+	return cluster.Metrics()
+}
+
+// TestAdvisorBeatsConfiguredHome asserts the advisor proposes a cheaper home
+// on a 3-hop-heavy run, identically under both schedulers.
+func TestAdvisorBeatsConfiguredHome(t *testing.T) {
+	serial := threehopSnapshot(t, false)
+	found := false
+	for i := range serial.Blocks {
+		e := &serial.Blocks[i]
+		if e.AdvisedNode == e.HomeNode {
+			continue
+		}
+		found = true
+		if e.AdvisedCost >= e.HomeCost || e.SavingsCycles <= 0 {
+			t.Errorf("block %d: advised node %d (cost %d) does not beat home node %d (cost %d), savings %d",
+				e.Block, e.AdvisedNode, e.AdvisedCost, e.HomeNode, e.HomeCost, e.SavingsCycles)
+		}
+	}
+	if !found {
+		t.Fatal("advisor proposed no alternative home on a 3-hop-heavy run")
+	}
+
+	parallel := threehopSnapshot(t, true)
+	if obsv.FormatAdvice(serial) != obsv.FormatAdvice(parallel) {
+		t.Error("advice report differs between serial and parallel scheduling")
+	}
+}
