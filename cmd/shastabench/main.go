@@ -4,9 +4,15 @@
 //
 // Usage:
 //
-//	shastabench [-scale N] [-apps a,b,c] [-obsv DIR] [-parallel auto|on|off] [list | all | <experiment>...]
+//	shastabench [-scale N] [-apps a,b,c] [-obsv DIR] [-parallel auto|on|off] [-inject-race MODE] [list | all | <experiment>...]
 //
-// Experiments: table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8 micro anl.
+// Experiments: table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8 micro anl
+// (plus the post-paper ablate, profile, pdes, sharing and races experiments;
+// see 'shastabench list').
+//
+// -inject-race restricts the races experiment to one injection mode (none,
+// drop-lock, reorder-publish); by default it runs all three and checks each
+// detector verdict against ground truth.
 //
 // With -obsv DIR, every application run additionally emits a
 // TRACE_<run>.jsonl protocol trace and a BENCH_<run>.json metrics snapshot
@@ -35,8 +41,9 @@ func main() {
 	appsFlag := flag.String("apps", "", "comma-separated application subset (default: the experiment's own set)")
 	obsvDir := flag.String("obsv", "", "directory receiving TRACE_*.jsonl traces and BENCH_*.json metrics per run")
 	parFlag := flag.String("parallel", "auto", "simulation scheduler: auto (parallel when the host has >1 core), on, off")
+	injectRace := flag.String("inject-race", "", "races experiment: run only this injection mode (none, drop-lock, reorder-publish)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: shastabench [-scale N] [-apps a,b,c] [-obsv DIR] [-parallel auto|on|off] [list | all | <experiment>...]\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: shastabench [-scale N] [-apps a,b,c] [-obsv DIR] [-parallel auto|on|off] [-inject-race MODE] [list | all | <experiment>...]\n\nexperiments:\n")
 		for _, e := range harness.Experiments {
 			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.ID, e.Title)
 		}
@@ -52,7 +59,7 @@ func main() {
 		return
 	}
 
-	opts := harness.Options{Scale: *scale}
+	opts := harness.Options{Scale: *scale, InjectRace: *injectRace}
 	if *appsFlag != "" {
 		opts.Apps = strings.Split(*appsFlag, ",")
 	}

@@ -12,6 +12,7 @@
 //	shastatrace critpath <trace.jsonl>...
 //	shastatrace export-chrome <trace.jsonl>...
 //	shastatrace check <trace.jsonl>...
+//	shastatrace races <trace.jsonl>...
 //	shastatrace blocks [-n N] <metrics.json>
 //	shastatrace falseshare <metrics.json>
 //	shastatrace advise <metrics.json>
@@ -23,9 +24,9 @@
 // All analysis output is deterministic: two runs of the same program and
 // configuration summarize, profile and export byte-identically.
 //
-// Exit status: 0 on success; 1 when an analysis found a difference or an
-// invariant violation (diff on unequal traces, check on a bad trace); 2 on
-// usage, I/O or schema errors.
+// Exit status: 0 on success; 1 when an analysis found a difference or a
+// violation (diff on unequal traces, check on a bad trace, races on a racy
+// trace); 2 on usage, I/O or schema errors.
 package main
 
 import (
@@ -53,6 +54,8 @@ trace analysis (one or more trace.jsonl segments, concatenated in order):
   critpath <trace.jsonl>...       longest causal chain through the run
   export-chrome <trace.jsonl>...  chrome://tracing JSON of the trace
   check <trace.jsonl>...          replay the trace through the invariant checker
+  races <trace.jsonl>...          happens-before data-race detection over the
+                                  trace's accesses and synchronization edges
 
 profiles (metrics.json exact, or approximated from a bare trace):
   breakdown <file>...             per-processor execution-time profile
@@ -67,7 +70,7 @@ sharing observatory (metrics.json only):
 
 exit status:
   0  success
-  1  analysis found a difference or an invariant violation (diff, check)
+  1  analysis found a difference or a violation (diff, check, races)
   2  usage, I/O or schema error
 `
 
@@ -405,6 +408,28 @@ func cmdCheck(args []string, stdout io.Writer) (int, error) {
 	return 0, nil
 }
 
+// cmdRaces runs the happens-before data-race detector over the trace. A
+// gapped (filtered or sampled) trace is a schema error — the detector needs
+// the complete event stream — so it exits 2, never a spurious "race-free".
+func cmdRaces(args []string, stdout io.Writer) (int, error) {
+	if len(args) == 0 {
+		return 2, usageError{"races needs at least one trace file"}
+	}
+	events, err := readTraces(args)
+	if err != nil {
+		return 2, err
+	}
+	rep, err := obsv.DetectRaces(events)
+	if err != nil {
+		return 2, err
+	}
+	fmt.Fprint(stdout, rep.Format())
+	if len(rep.Races) > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
 // metricsDoc reads the single metrics document the observatory subcommands
 // operate on, requiring a non-empty blocks section.
 func metricsDoc(cmd string, args []string) (*obsv.Snapshot, error) {
@@ -495,6 +520,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		code, err = cmdExportChrome(rest, stdout)
 	case "check":
 		code, err = cmdCheck(rest, stdout)
+	case "races":
+		code, err = cmdRaces(rest, stdout)
 	case "blocks":
 		code, err = cmdBlocks(rest, stdout, stderr)
 	case "falseshare":

@@ -98,12 +98,23 @@ func writeTrace(t *testing.T, path string, events []protocol.TraceEvent) {
 //	threehop.json  metrics of the placement-adverse threehopRun workload
 //	lu256.json     metrics of LU at 256-byte lines (the paper's
 //	               false-sharing granularity for LU)
+//	racy.jsonl     trace of the synthetic Racy workload with the drop-lock
+//	               injection — the races analysis must flag it
 func regenFixtures(t *testing.T) {
 	t.Helper()
 	col := &shasta.CollectorTracer{}
 	cluster := fixtureRun(col)
 	writeTrace(t, "testdata/small.jsonl", col.Events)
 	writeMetrics(t, "testdata/bench.json", cluster.Metrics())
+
+	// Clustering 1 (base Shasta): intra-node hardware sharing is invisible
+	// to the trace, so the injected accesses must all be protocol events.
+	rcol := &shasta.CollectorTracer{}
+	if _, err := apps.ExecuteObserved(apps.NewRacy(1, "drop-lock"),
+		shasta.Config{Procs: 8, Clustering: 1}, false, rcol); err != nil {
+		t.Fatal(err)
+	}
+	writeTrace(t, "testdata/racy.jsonl", rcol.Events)
 
 	writeMetrics(t, "testdata/threehop.json", threehopRun().Metrics())
 
@@ -174,6 +185,8 @@ func TestGolden(t *testing.T) {
 		{"check-clean", []string{"check", "testdata/small.jsonl"}, 0},
 		{"check-corrupt", []string{"check", "testdata/corrupt.jsonl"}, 1},
 		{"check-gapped", []string{"check", "testdata/filtered.jsonl"}, 0},
+		{"races-clean", []string{"races", "testdata/small.jsonl"}, 0},
+		{"races-racy", []string{"races", "testdata/racy.jsonl"}, 1},
 		{"filter", []string{"filter", "-p", "4", "-op", "send,handle", "testdata/small.jsonl"}, 0},
 		{"blocks", []string{"blocks", "-n", "10", "testdata/bench.json"}, 0},
 		{"blocks-lu256", []string{"blocks", "-n", "10", "testdata/lu256.json"}, 0},
@@ -255,6 +268,9 @@ func TestExitCodes(t *testing.T) {
 		{"blocks-no-file", []string{"blocks"}, 2},
 		{"falseshare-two-files", []string{"falseshare", "testdata/bench.json", "testdata/threehop.json"}, 2},
 		{"advise-on-trace", []string{"advise", "testdata/small.jsonl"}, 2},
+		{"races-no-files", []string{"races"}, 2},
+		{"races-on-metrics", []string{"races", "testdata/bench.json"}, 2},
+		{"races-gapped", []string{"races", "testdata/filtered.jsonl"}, 2},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -277,7 +293,7 @@ func TestUsageDocumentsExitCodes(t *testing.T) {
 	for _, want := range []string{
 		"exit status", "summarize", "filter", "timeline", "diff", "check",
 		"critpath", "export-chrome", "breakdown", "hist",
-		"blocks", "falseshare", "advise",
+		"blocks", "falseshare", "advise", "races",
 		"0  success", "1  analysis found", "2  usage",
 	} {
 		if !strings.Contains(stderr.String(), want) {
@@ -295,6 +311,39 @@ func TestHelpFlag(t *testing.T) {
 		}
 		if !strings.Contains(stdout.String(), "usage:") {
 			t.Errorf("%s printed no usage on stdout", arg)
+		}
+	}
+}
+
+// TestRacesGappedTraceExits2 pins the detector's soundness guard: a
+// filtered (gapped) trace is missing synchronization events, so running
+// races over it must be a hard error with a clear diagnostic — never a
+// spurious "race-free" verdict.
+func TestRacesGappedTraceExits2(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"races", "testdata/filtered.jsonl"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code %d, want 2; stdout:\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "seq gaps") {
+		t.Fatalf("diagnostic does not name the gapped trace:\n%s", stderr.String())
+	}
+	if strings.Contains(stdout.String(), "ok:") {
+		t.Fatalf("gapped trace must not be reported race-free:\n%s", stdout.String())
+	}
+}
+
+// TestRacesFlagsInjectedRace is the detector's acceptance check on a real
+// workload trace: the drop-lock fixture must produce at least one race whose
+// evidence names the contended counter accesses, with witness lines.
+func TestRacesFlagsInjectedRace(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"races", "testdata/racy.jsonl"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code %d, want 1; stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"RACES:", "race 1:", "witness:", "p1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("races report missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -1,0 +1,146 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// Racy is a synthetic workload for exercising the race detector
+// (internal/obsv, `shastatrace races`). It is deliberately NOT in Registry
+// or Names: it is not one of the paper's nine applications, and two of its
+// modes are intentionally mis-synchronized.
+//
+// The clean structure is: every processor fills its own block-aligned slice
+// of a shared array, a barrier publishes the fills, every processor then
+// increments one contended counter under a lock, a barrier ends the round,
+// and a read-only checksum pass covers the whole array. Properly
+// synchronized, the detector must report zero races on its trace.
+//
+// The inject knob plants one classic synchronization bug:
+//
+//	"drop-lock"        processor 1 increments the contended counter without
+//	                   taking the lock — its read-modify-write races with
+//	                   every other processor's locked increment.
+//	"reorder-publish"  the last processor's update of element 0 is issued
+//	                   after the publishing barrier instead of before it, so
+//	                   the write races with the other processors' checksum
+//	                   reads of that element.
+//
+// Both bugs leave the protocol and the simulation perfectly deterministic —
+// the trace is reproducible — but the mutated accesses have no
+// happens-before ordering with their conflicting counterparts, which is
+// exactly what the detector reports.
+//
+// Run the injected modes with Clustering 1 (uniprocessor nodes, base
+// Shasta): accesses shared in hardware within an SMP node never become
+// protocol events, so under clustering an injected access can be invisible
+// to the trace and therefore to the detector (the soundness caveat in
+// OBSERVABILITY.md).
+type Racy struct {
+	inject   string
+	blocks   int // data blocks per processor
+	data     F64Array
+	counter  F64Array
+	lock     int
+	procs    int
+	partial  []float64
+	checksum float64
+}
+
+// RacyInjectModes lists the accepted inject values: a clean run, a dropped
+// lock, and a reordered flag publish.
+var RacyInjectModes = []string{"none", "drop-lock", "reorder-publish"}
+
+// NewRacy builds the synthetic detector workload. Scale multiplies the
+// per-processor data (scale blocks each); inject is one of RacyInjectModes
+// ("" means "none").
+func NewRacy(scale int, inject string) *Racy {
+	if scale < 1 {
+		scale = 1
+	}
+	if inject == "" {
+		inject = "none"
+	}
+	return &Racy{inject: inject, blocks: scale}
+}
+
+// Name implements Workload.
+func (w *Racy) Name() string { return "Racy" }
+
+// ProblemSize implements Workload.
+func (w *Racy) ProblemSize() string {
+	return fmt.Sprintf("%d blocks/proc, inject=%s", w.blocks, w.inject)
+}
+
+// Setup implements Workload. The data array is allocated at a fixed 64-byte
+// granularity so each processor's slice is block-aligned (8 float64 per
+// block): without injection, no two processors ever write the same block in
+// the same barrier round. Both structures are homed at processor 0, so the
+// injected accesses — processor 1's unlocked increment, the last
+// processor's late publish — are remote misses and therefore trace-visible.
+func (w *Racy) Setup(c *shasta.Cluster, variableGranularity bool) {
+	w.procs = c.Procs()
+	w.data = AllocF64Placed(c, w.procs*w.blocks*8, 64, 0)
+	w.counter = AllocF64Placed(c, 8, 64, 0)
+	w.lock = c.AllocLock()
+	w.partial = make([]float64, w.procs)
+}
+
+// Body implements Workload.
+func (w *Racy) Body(p *shasta.Proc) {
+	id, procs := p.ID(), p.NumProcs()
+	lo, hi := id*w.blocks*8, (id+1)*w.blocks*8
+
+	p.Barrier()
+	if id == 0 {
+		p.ResetStats()
+	}
+	p.Barrier()
+
+	// Fill phase: each processor writes only its own blocks.
+	for i := lo; i < hi; i++ {
+		p.StoreF64(w.data.At(i), float64(i+1))
+	}
+	p.Barrier()
+
+	// Contended counter, lock-protected — except that the drop-lock
+	// injection lets processor 1 walk straight past the lock.
+	locked := !(w.inject == "drop-lock" && id == 1)
+	if locked {
+		p.LockAcquire(w.lock)
+	}
+	p.StoreF64(w.counter.At(0), p.LoadF64(w.counter.At(0))+1)
+	if locked {
+		p.LockRelease(w.lock)
+	}
+	p.Barrier()
+
+	// The reorder-publish injection: the barrier above was the publish, and
+	// this write should have come before it. The last processor is the
+	// mutator so the store is a remote miss (processor 0 filled element 0)
+	// and therefore visible in the trace.
+	if w.inject == "reorder-publish" && id == procs-1 {
+		p.StoreF64(w.data.At(0), -1)
+	}
+
+	// Read-only checksum pass over the whole array.
+	var sum float64
+	for i := 0; i < w.procs*w.blocks*8; i++ {
+		sum += p.LoadF64(w.data.At(i))
+	}
+	sum += p.LoadF64(w.counter.At(0))
+	w.partial[id] = sum
+	p.Barrier()
+	if id == 0 {
+		p.EndMeasured()
+		total := 0.0
+		for _, v := range w.partial {
+			total += v
+		}
+		w.checksum = total
+	}
+}
+
+// Checksum implements Workload.
+func (w *Racy) Checksum() float64 { return w.checksum }

@@ -31,6 +31,9 @@ type Options struct {
 	// Apps restricts the applications run (nil = the paper's set for
 	// that experiment).
 	Apps []string
+	// InjectRace restricts the races experiment to one injection mode
+	// (one of apps.RacyInjectModes; empty runs all modes).
+	InjectRace string
 }
 
 // WithDefaults fills unset options.
@@ -69,6 +72,7 @@ var Experiments = []Experiment{
 	{"profile", "Per-processor execution-time profile, measured breakdown at 8 processors", Profile},
 	{"pdes", "Serial vs parallel simulation scheduler: wall-clock comparison, bit-identity verified", Pdes},
 	{"sharing", "Sharing-pattern observatory: block classification and placement advice vs measured line-size delta", Sharing},
+	{"races", "Race-detector injection: clean and mis-synchronized runs, detector verdict vs ground truth", Races},
 }
 
 // ByID returns the experiment with the given ID.

@@ -2,6 +2,8 @@ package harness
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -11,7 +13,7 @@ import (
 func TestExperimentRegistry(t *testing.T) {
 	wantIDs := []string{"table1", "table2", "table3", "fig3", "fig4", "fig5",
 		"fig6", "fig7", "fig8", "micro", "anl", "ablate", "profile", "pdes",
-		"sharing"}
+		"sharing", "races"}
 	if len(Experiments) != len(wantIDs) {
 		t.Fatalf("have %d experiments, want %d", len(Experiments), len(wantIDs))
 	}
@@ -115,6 +117,54 @@ func TestSharingSingleApp(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestRacesExperiment runs the injection experiment end to end: all three
+// modes must match ground truth, the report must carry each verdict, and
+// the artifacts must land in the observability directory.
+func TestRacesExperiment(t *testing.T) {
+	dir := t.TempDir()
+	SetObsvDir(dir)
+	defer SetObsvDir("")
+	var buf bytes.Buffer
+	if err := Races(Options{Scale: 1}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"inject=none", "ok: no data races",
+		"inject=drop-lock", "inject=reorder-publish", "RACES:",
+		"verdicts match ground truth for all 3 modes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	for _, f := range []string{
+		"TRACE_races_none.jsonl", "RACES_none.txt",
+		"TRACE_races_drop-lock.jsonl", "RACES_drop-lock.txt",
+		"TRACE_races_reorder-publish.jsonl", "RACES_reorder-publish.txt",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing artifact %s: %v", f, err)
+		}
+	}
+}
+
+// TestRacesExperimentSingleMode pins the -inject-race knob: one mode runs,
+// unknown modes are rejected.
+func TestRacesExperimentSingleMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Races(Options{Scale: 1, InjectRace: "drop-lock"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "inject=drop-lock") || strings.Contains(out, "inject=none") {
+		t.Errorf("single-mode report wrong:\n%s", out)
+	}
+	if err := Races(Options{Scale: 1, InjectRace: "frobnicate"}, &buf); err == nil {
+		t.Error("unknown injection mode accepted")
 	}
 }
 

@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro"
+	"repro/internal/apps"
+	"repro/internal/obsv"
+	"repro/internal/protocol"
+)
+
+// Races is the race-detection injection experiment: it runs the synthetic
+// Racy workload (internal/apps) in every injection mode — clean, dropped
+// lock, reordered publish — under Base-Shasta at 8 processors, feeds each
+// run's trace to the happens-before detector, and verifies the detector's
+// verdict against the known ground truth: zero races on the clean run, at
+// least one on each injected one. A verdict mismatch is an experiment
+// error, so CI fails loudly on detector regressions in either direction.
+//
+// Base-Shasta (clustering 1) is deliberate: within an SMP node, hardware
+// sharing never becomes protocol events, so under clustering an injected
+// access can be invisible to the trace (the soundness caveat in
+// OBSERVABILITY.md).
+//
+// Options.InjectRace restricts the run to one mode (shastabench
+// -inject-race). With -obsv, each mode emits TRACE_races_<mode>.jsonl and
+// its detector report as RACES_<mode>.txt.
+func Races(o Options, w io.Writer) error {
+	o = o.WithDefaults()
+	modes := apps.RacyInjectModes
+	if o.InjectRace != "" {
+		found := false
+		for _, m := range modes {
+			if m == o.InjectRace {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("harness: unknown -inject-race mode %q (want one of %v)",
+				o.InjectRace, apps.RacyInjectModes)
+		}
+		modes = []string{o.InjectRace}
+	}
+	for _, mode := range modes {
+		cfg := baseConfig(8)
+		cfg.Parallel = parallel
+		col := &shasta.CollectorTracer{}
+		r, err := apps.ExecuteObserved(apps.NewRacy(o.Scale, mode), cfg, false, col)
+		if err != nil {
+			return fmt.Errorf("harness: races inject=%s: %w", mode, err)
+		}
+		rep, err := obsv.DetectRaces(col.Events)
+		if err != nil {
+			return fmt.Errorf("harness: races inject=%s: detector: %w", mode, err)
+		}
+		if mode == "none" && len(rep.Races) != 0 {
+			return fmt.Errorf("harness: races inject=none: detector reports %d races on a clean run:\n%s",
+				len(rep.Races), rep.Format())
+		}
+		if mode != "none" && len(rep.Races) == 0 {
+			return fmt.Errorf("harness: races inject=%s: detector missed the injected race:\n%s",
+				mode, rep.Format())
+		}
+		fmt.Fprintf(w, "inject=%-15s %d events, %d cycles -> %s",
+			mode, len(col.Events), r.Result.ParallelCycles, rep.Format())
+		if obsvDir != "" {
+			if err := writeRacesArtifacts(mode, col.Events, rep); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Fprintf(w, "detector verdicts match ground truth for all %d modes\n", len(modes))
+	return nil
+}
+
+// writeRacesArtifacts emits one mode's trace and detector report into the
+// observability directory, for the CI artifact.
+func writeRacesArtifacts(mode string, events []protocol.TraceEvent, rep *obsv.RaceReport) error {
+	tf, err := os.Create(filepath.Join(obsvDir, "TRACE_races_"+mode+".jsonl"))
+	if err != nil {
+		return err
+	}
+	if err := obsv.WriteHeader(tf); err != nil {
+		tf.Close()
+		return err
+	}
+	for _, e := range events {
+		if err := obsv.WriteEvent(tf, e); err != nil {
+			tf.Close()
+			return err
+		}
+	}
+	if err := tf.Close(); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(obsvDir, "RACES_"+mode+".txt"),
+		[]byte(rep.Format()), 0o644)
+}

@@ -36,10 +36,45 @@ type BatchRef struct {
 // operations perform no per-access checks.
 type Batch struct {
 	p *Proc
+	// acc accumulates the slots the batched body actually accesses, per
+	// block. It is non-nil only when the batch missed under an attached
+	// tracer: the miss events carry the batch's declared ranges, which
+	// over-approximate, so the batch emits touch events with these exact
+	// masks as the race detector's access evidence (see
+	// internal/obsv/races.go).
+	acc map[int]*batchAcc
+}
+
+// batchAcc is one block's accumulated actual access masks.
+type batchAcc struct {
+	rd, wr uint64
+}
+
+// note records the slots one batched access touches (no-op unless the
+// batch is accumulating access evidence).
+func (b *Batch) note(addr memory.Addr, size int, write bool) {
+	if b.acc == nil {
+		return
+	}
+	lay := b.p.sys.lay
+	base, lines := lay.BlockOf(addr)
+	lo := int64(addr - lay.LineAddr(base))
+	m := stats.SlotMask(lines*lay.LineSize(), lo, lo+int64(size))
+	a := b.acc[base]
+	if a == nil {
+		a = &batchAcc{}
+		b.acc[base] = a
+	}
+	if write {
+		a.wr |= m
+	} else {
+		a.rd |= m
+	}
 }
 
 // LoadF64 reads a float64 without a per-access check.
 func (b *Batch) LoadF64(addr memory.Addr) float64 {
+	b.note(addr, 8, false)
 	v := b.p.rawRead(addr, 8)
 	if debugBatchFlagReads && uint32(v) == memory.FlagWord && uint32(v>>32) == memory.FlagWord {
 		base, _ := b.p.sys.lay.BlockOf(addr)
@@ -55,21 +90,34 @@ func (b *Batch) LoadF64(addr memory.Addr) float64 {
 var debugBatchFlagReads = false
 
 // LoadU64 reads a 64-bit integer without a per-access check.
-func (b *Batch) LoadU64(addr memory.Addr) uint64 { return b.p.rawRead(addr, 8) }
+func (b *Batch) LoadU64(addr memory.Addr) uint64 {
+	b.note(addr, 8, false)
+	return b.p.rawRead(addr, 8)
+}
 
 // LoadU32 reads a 32-bit integer without a per-access check.
-func (b *Batch) LoadU32(addr memory.Addr) uint32 { return uint32(b.p.rawRead(addr, 4)) }
+func (b *Batch) LoadU32(addr memory.Addr) uint32 {
+	b.note(addr, 4, false)
+	return uint32(b.p.rawRead(addr, 4))
+}
 
 // StoreF64 writes a float64 without a per-access check.
 func (b *Batch) StoreF64(addr memory.Addr, v float64) {
+	b.note(addr, 8, true)
 	b.p.rawWrite(addr, 8, math.Float64bits(v))
 }
 
 // StoreU64 writes a 64-bit integer without a per-access check.
-func (b *Batch) StoreU64(addr memory.Addr, v uint64) { b.p.rawWrite(addr, 8, v) }
+func (b *Batch) StoreU64(addr memory.Addr, v uint64) {
+	b.note(addr, 8, true)
+	b.p.rawWrite(addr, 8, v)
+}
 
 // StoreU32 writes a 32-bit integer without a per-access check.
-func (b *Batch) StoreU32(addr memory.Addr, v uint32) { b.p.rawWrite(addr, 4, uint64(v)) }
+func (b *Batch) StoreU32(addr memory.Addr, v uint32) {
+	b.note(addr, 4, true)
+	b.p.rawWrite(addr, 4, uint64(v))
+}
 
 // Compute charges application work inside the batch.
 func (b *Batch) Compute(cycles int64) { b.p.Compute(cycles) }
@@ -147,11 +195,22 @@ func (p *Proc) Batch(refs []BatchRef, f func(*Batch)) {
 	}
 	if !ok {
 		p.batchMiss(bases, needs)
+		if p.sys.tracer != nil {
+			b.acc = make(map[int]*batchAcc)
+		}
 	}
 	p.inBatch++
 	f(b)
 	p.inBatch--
 	if !ok {
+		// The exact slots the body accessed, per fetched block. The body
+		// does not poll, so the touch events' position still reflects the
+		// processor's synchronization state when the accesses ran.
+		for _, base := range bases {
+			if a := b.acc[base]; a != nil && (a.rd|a.wr) != 0 {
+				p.trace("touch", "", base, "r=%x w=%x", a.rd, a.wr)
+			}
+		}
 		// Markers exist only when the miss handler ran; a batch whose
 		// checks all passed proceeds without them (its body performs no
 		// message handling, and in SMP mode any concurrent downgrade
@@ -239,7 +298,7 @@ func (p *Proc) batchMiss(bases []int, needs map[int]need2) {
 			if p.batchStateOK(base, store) {
 				continue
 			}
-			entry, dgWait := p.batchIssue(base, store)
+			entry, dgWait := p.batchIssue(base, needs[base])
 			if entry != nil || dgWait {
 				waits = append(waits, waitItem{base, store, entry, dgWait})
 			}
@@ -270,8 +329,10 @@ func (p *Proc) batchMiss(bases []int, needs map[int]need2) {
 // batchIssue brings one block's fetch in flight (or satisfies it locally)
 // without stalling, so a batch's misses overlap. It returns the entry to
 // wait on (nil if no wait is needed) and whether the block is mid-downgrade
-// and must be waited out instead.
-func (p *Proc) batchIssue(base int, store bool) (*missEntry, bool) {
+// and must be waited out instead. The need carries the batch's declared
+// sub-block ranges so an issued miss event records them as offset evidence.
+func (p *Proc) batchIssue(base int, need need2) (*missEntry, bool) {
+	store := need.store
 	addr := p.sys.lay.LineAddr(base)
 	p.lockBlock(base)
 	defer p.unlockBlock(base)
@@ -304,7 +365,7 @@ func (p *Proc) batchIssue(base int, store bool) (*missEntry, bool) {
 		return nil, false
 
 	case st == memory.Shared && store:
-		entry := p.newMissEntry(base, stats.UpgradeMiss)
+		entry := p.newMissEntry(base, stats.UpgradeMiss, need.rdMask, need.wrMask, true)
 		entry.dataArrived = true // the shared copy is the data
 		entry.hasStores = true
 		entry.wantExcl = true
@@ -324,7 +385,7 @@ func (p *Proc) batchIssue(base int, store bool) (*missEntry, bool) {
 			kind = stats.WriteMiss
 			mk = mReadExclReq
 		}
-		entry := p.newMissEntry(base, kind)
+		entry := p.newMissEntry(base, kind, need.rdMask, need.wrMask, true)
 		if store {
 			entry.hasStores = true
 			entry.wantExcl = true

@@ -265,7 +265,7 @@ func (p *Proc) loadMiss(addr memory.Addr, size int) uint64 {
 	c := p.sys.cfg.Costs
 	p.charge(stats.Task, c.Entry)
 	base, lines := p.sys.lay.BlockOf(addr)
-	p.markAccess(base, lines, addr, size, false)
+	mask := p.markAccess(base, lines, addr, size, false)
 	if debugTraceBlock >= 0 && base == debugTraceBlock {
 		fmt.Printf("[blk%d @%d] proc %d loadMiss addr %d: state %v entry %v\n",
 			base, p.sp.Now(), p.id, addr, p.grp.img.State(base), p.grp.miss[base] != nil)
@@ -334,7 +334,7 @@ func (p *Proc) loadMiss(addr memory.Addr, size int) uint64 {
 			p.waitDowngrade(base)
 
 		case memory.Invalid:
-			entry := p.newMissEntry(base, stats.ReadMiss)
+			entry := p.newMissEntry(base, stats.ReadMiss, mask, 0, false)
 			p.grp.img.SetBlockState(base, memory.PendingRead)
 			home := p.sys.homeProc(addr)
 			p.sendHome(home, &pmsg{kind: mReadReq, baseLine: base, requester: p.id,
@@ -412,7 +412,7 @@ func (p *Proc) storeMiss(addr memory.Addr, size int, v uint64) {
 	c := p.sys.cfg.Costs
 	p.charge(stats.Task, c.Entry)
 	base, lines := p.sys.lay.BlockOf(addr)
-	p.markAccess(base, lines, addr, size, true)
+	mask := p.markAccess(base, lines, addr, size, true)
 	for {
 		p.lockBlock(base)
 		// Merge with an existing pending request for the block: record
@@ -465,7 +465,7 @@ func (p *Proc) storeMiss(addr memory.Addr, size int, v uint64) {
 				p.stallOutstanding()
 				continue
 			}
-			entry := p.newMissEntry(base, stats.UpgradeMiss)
+			entry := p.newMissEntry(base, stats.UpgradeMiss, 0, mask, false)
 			// An upgrade's data is the already-present shared copy;
 			// dataArrived is cleared if an invalidation takes it away
 			// while the upgrade is in flight.
@@ -488,7 +488,7 @@ func (p *Proc) storeMiss(addr memory.Addr, size int, v uint64) {
 				p.stallOutstanding()
 				continue
 			}
-			entry := p.newMissEntry(base, stats.WriteMiss)
+			entry := p.newMissEntry(base, stats.WriteMiss, 0, mask, false)
 			entry.hasStores = true
 			p.outstandingStores++
 			p.rawWrite(addr, size, v)
@@ -526,10 +526,20 @@ func (p *Proc) stallOutstanding() {
 	})
 }
 
-// newMissEntry creates and registers a miss entry for a block.
-func (p *Proc) newMissEntry(base int, kind stats.MissKind) *missEntry {
+// newMissEntry creates and registers a miss entry for a block. rdMask and
+// wrMask are the sub-block slots the triggering access touches; they ride in
+// the miss event's free-form detail as the race detector's offset evidence
+// (see internal/obsv/races.go). Batch misses pass declared=true: their masks
+// are the batch's conservatively declared reference ranges, not actual
+// accesses (the batch emits touch events with the exact slots instead), and
+// the detail marks them so the detector does not mistake them for evidence.
+func (p *Proc) newMissEntry(base int, kind stats.MissKind, rdMask, wrMask uint64, declared bool) *missEntry {
 	p.charge(stats.Other, p.sys.cfg.Costs.MissTableOp)
-	p.trace("miss", "", base, "%v issued: %s", kind, p.traceState(base))
+	if declared {
+		p.trace("miss", "", base, "%v issued declared r=%x w=%x: %s", kind, rdMask, wrMask, p.traceState(base))
+	} else {
+		p.trace("miss", "", base, "%v issued r=%x w=%x: %s", kind, rdMask, wrMask, p.traceState(base))
+	}
 	e := &missEntry{
 		baseLine:  base,
 		kind:      kind,
@@ -551,10 +561,11 @@ func (p *Proc) blockStat(base int) *stats.BlockStat {
 }
 
 // markAccess records the sub-block slots a missing access touched in the
-// block's read or write mask, the observatory's false-sharing evidence.
+// block's read or write mask, the observatory's false-sharing evidence, and
+// returns the slot mask so the miss event can carry the same evidence.
 // Aligned scalar accesses are at most 8 bytes, so an access marks one slot
 // (or two when it straddles a slot boundary).
-func (p *Proc) markAccess(base, lines int, addr memory.Addr, size int, write bool) {
+func (p *Proc) markAccess(base, lines int, addr memory.Addr, size int, write bool) uint64 {
 	blockBytes := lines * p.sys.lay.LineSize()
 	lo := int64(addr - p.sys.lay.LineAddr(base))
 	m := stats.SlotMask(blockBytes, lo, lo+int64(size))
@@ -564,4 +575,5 @@ func (p *Proc) markAccess(base, lines int, addr memory.Addr, size int, write boo
 	} else {
 		b.ReadMask |= m
 	}
+	return m
 }

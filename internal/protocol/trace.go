@@ -29,9 +29,12 @@ const TraceSchemaVersion = 1
 //	batch       the batch miss handler begins fetching a batch's blocks
 //	privup      a processor's private state table entry is raised to a
 //	            valid state (SMP-Shasta only; compatible v1 extension)
+//	touch       the exact sub-block slots a batched body accessed in one
+//	            fetched block, emitted at batch end (compatible v1
+//	            extension; the race detector's batch access evidence)
 var TraceOps = []string{
 	"send", "handle", "miss", "downgrade", "install", "invalidate",
-	"sync", "batch", "privup",
+	"sync", "batch", "privup", "touch",
 }
 
 // TraceEvent is one protocol-level event, emitted to a Tracer attached to

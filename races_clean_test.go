@@ -1,0 +1,49 @@
+package shasta_test
+
+// The race detector's false-positive gate: every seed application is
+// properly synchronized, so `shastatrace races` must report zero races on
+// each of their traces, under both the serial and the parallel engine (the
+// engines are bit-identical, so this doubles as a determinism check on the
+// detector's input). A failure here means either a detector false positive
+// — a happens-before edge the trace carries but the detector misses — or a
+// real synchronization regression in an application.
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/apps"
+	"repro/internal/obsv"
+)
+
+func TestNineAppsRaceFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all nine applications under both engines")
+	}
+	for _, app := range apps.Names {
+		app := app
+		t.Run(app, func(t *testing.T) {
+			t.Parallel()
+			for _, parallel := range []bool{false, true} {
+				f := apps.Registry[app]
+				col := &shasta.CollectorTracer{}
+				cfg := shasta.Config{Procs: 8, Clustering: 4, Parallel: parallel}
+				if _, err := apps.ExecuteObserved(f(1), cfg, false, col); err != nil {
+					t.Fatalf("%s (parallel=%v): %v", app, parallel, err)
+				}
+				rep, err := obsv.DetectRaces(col.Events)
+				if err != nil {
+					t.Fatalf("%s (parallel=%v): DetectRaces: %v", app, parallel, err)
+				}
+				if len(rep.Races) != 0 {
+					t.Errorf("%s (parallel=%v): detector reports races on a clean application:\n%s",
+						app, parallel, rep.Format())
+				}
+				if rep.Accesses == 0 {
+					t.Errorf("%s (parallel=%v): trace carries no accesses; detector input is empty",
+						app, parallel)
+				}
+			}
+		})
+	}
+}

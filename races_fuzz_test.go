@@ -1,0 +1,239 @@
+package shasta_test
+
+// Random-program fuzzing for the race detector, extending the scheduler
+// equivalence fuzz (internal/sim) and the bit-identity suite
+// (parallel_equiv_test.go) from "same trace bytes" to "same verdict, and
+// the right one". The generator builds synchronized programs whose race
+// freedom holds by construction — every block is, per barrier round,
+// either written by one designated processor, read-only (and last written
+// in an earlier round), or mutated under one global lock — then optionally
+// seeds one ordering violation: in one round an attacker processor mutates
+// a fresh block without the lock while victims mutate it locked. The
+// detector's verdict must match that ground truth on every seed, under
+// both the serial and the parallel engine, with identical reports.
+//
+// The attacker pattern pins down the observed-schedule subtlety: the
+// attacker strikes immediately after the round barrier and then computes
+// for a long time before arriving at the next one, so no sync message can
+// carry its clock to the victims' lock chain — the conflicting pair is
+// unordered in the trace itself, not just in some hypothetical schedule.
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/obsv"
+)
+
+const (
+	fuzzProcs   = 8
+	fuzzBlocks  = 8  // shared blocks the clean actions draw from
+	fuzzRounds  = 8  // barrier rounds per program
+	fuzzActions = 3  // actions attempted per round
+	fuzzSeeds   = 6  // programs fuzzed per verdict
+)
+
+const (
+	aWrite  = iota // one designated processor writes the block
+	aRead          // a subset of processors reads the block
+	aLocked        // a subset mutates the block under the global lock
+	aAttack        // the seeded violation: unlocked vs locked mutation
+)
+
+type fuzzAction struct {
+	kind  int
+	block int   // index into the shared block array
+	proc  int   // writer (aWrite) or attacker (aAttack)
+	procs []int // readers (aRead) or locked mutators (aLocked, aAttack)
+}
+
+type fuzzProgram struct {
+	rounds   [][]fuzzAction
+	racy     bool
+	attacker int
+}
+
+// fuzzRNG is the test's deterministic generator (splitmix-style), so every
+// seed builds the same program in every run.
+type fuzzRNG struct{ s uint64 }
+
+func (r *fuzzRNG) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *fuzzRNG) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// subset returns a random non-empty subset of [0, fuzzProcs).
+func (r *fuzzRNG) subset() []int {
+	var s []int
+	for p := 0; p < fuzzProcs; p++ {
+		if r.intn(2) == 1 {
+			s = append(s, p)
+		}
+	}
+	if len(s) == 0 {
+		s = append(s, r.intn(fuzzProcs))
+	}
+	return s
+}
+
+// genProgram builds one program. Clean ground truth is maintained by two
+// generator invariants: a block is used by at most one action per round,
+// and a read action only targets blocks whose last write is in a strictly
+// earlier round (the intervening barrier orders it).
+func genProgram(seed uint64, racy bool) fuzzProgram {
+	r := &fuzzRNG{s: seed}
+	prog := fuzzProgram{racy: racy}
+	lastWrite := make([]int, fuzzBlocks)
+	for b := range lastWrite {
+		lastWrite[b] = -1
+	}
+	racyRound := 1 + r.intn(fuzzRounds-2)
+	for round := 0; round < fuzzRounds; round++ {
+		var actions []fuzzAction
+		used := make([]bool, fuzzBlocks)
+		for i := 0; i < fuzzActions; i++ {
+			blk := r.intn(fuzzBlocks)
+			if used[blk] {
+				continue
+			}
+			switch r.intn(3) {
+			case aWrite:
+				used[blk] = true
+				lastWrite[blk] = round
+				actions = append(actions, fuzzAction{kind: aWrite, block: blk, proc: r.intn(fuzzProcs)})
+			case aRead:
+				if lastWrite[blk] >= round {
+					continue // written this round by an earlier action
+				}
+				used[blk] = true
+				actions = append(actions, fuzzAction{kind: aRead, block: blk, procs: r.subset()})
+			case aLocked:
+				used[blk] = true
+				lastWrite[blk] = round
+				actions = append(actions, fuzzAction{kind: aLocked, block: blk, procs: r.subset()})
+			}
+		}
+		if racy && round == racyRound {
+			// The violation targets a dedicated fresh block (index
+			// fuzzBlocks) no clean action ever touches, so the attacker's
+			// unlocked accesses are guaranteed cold misses and therefore
+			// trace-visible. The attacker is never the block's home
+			// (processor 0); the victims are everyone else.
+			attacker := 1 + r.intn(fuzzProcs-1)
+			var victims []int
+			for p := 0; p < fuzzProcs; p++ {
+				if p != attacker {
+					victims = append(victims, p)
+				}
+			}
+			prog.attacker = attacker
+			actions = append(actions, fuzzAction{kind: aAttack, block: fuzzBlocks, proc: attacker, procs: victims})
+		}
+		prog.rounds = append(prog.rounds, actions)
+	}
+	return prog
+}
+
+func fuzzContains(s []int, p int) bool {
+	for _, v := range s {
+		if v == p {
+			return true
+		}
+	}
+	return false
+}
+
+// runFuzzProgram executes the program on a fresh cluster and returns the
+// detector's report. Clustering 1 and home placement at processor 0 keep
+// every mutated access a protocol event (intra-node hardware sharing is
+// invisible to the trace; see OBSERVABILITY.md).
+func runFuzzProgram(t *testing.T, prog fuzzProgram, parallel bool) *obsv.RaceReport {
+	t.Helper()
+	cluster := shasta.MustCluster(shasta.Config{Procs: fuzzProcs, Clustering: 1, Parallel: parallel})
+	base := cluster.AllocPlaced(int64(fuzzBlocks+1)*64, 64, 0)
+	lock := cluster.AllocLock()
+	col := &shasta.CollectorTracer{}
+	cluster.SetTracer(col)
+	addr := func(blk int) shasta.Addr { return base + shasta.Addr(blk*64) }
+	cluster.Run(func(p *shasta.Proc) {
+		for _, actions := range prog.rounds {
+			for _, a := range actions {
+				switch a.kind {
+				case aWrite:
+					if p.ID() == a.proc {
+						p.StoreF64(addr(a.block), float64(a.block))
+					}
+				case aRead:
+					if fuzzContains(a.procs, p.ID()) {
+						_ = p.LoadF64(addr(a.block))
+					}
+				case aLocked:
+					if fuzzContains(a.procs, p.ID()) {
+						p.LockAcquire(lock)
+						p.StoreF64(addr(a.block), p.LoadF64(addr(a.block))+1)
+						p.LockRelease(lock)
+					}
+				case aAttack:
+					if p.ID() == a.proc {
+						p.StoreF64(addr(a.block), p.LoadF64(addr(a.block))+1)
+						p.Compute(50000) // outlast the victims' lock chain
+					} else if fuzzContains(a.procs, p.ID()) {
+						p.LockAcquire(lock)
+						p.StoreF64(addr(a.block), p.LoadF64(addr(a.block))+1)
+						p.LockRelease(lock)
+					}
+				}
+			}
+			p.Barrier()
+		}
+	})
+	rep, err := obsv.DetectRaces(col.Events)
+	if err != nil {
+		t.Fatalf("DetectRaces: %v", err)
+	}
+	return rep
+}
+
+func TestRacesFuzzVerdicts(t *testing.T) {
+	for _, racy := range []bool{false, true} {
+		racy := racy
+		for seed := uint64(1); seed <= fuzzSeeds; seed++ {
+			seed := seed
+			name := "clean"
+			if racy {
+				name = "racy"
+			}
+			t.Run(name+"/seed"+string(rune('0'+seed)), func(t *testing.T) {
+				t.Parallel()
+				prog := genProgram(seed*1013, racy)
+				serial := runFuzzProgram(t, prog, false)
+				parallel := runFuzzProgram(t, prog, true)
+				if serial.Format() != parallel.Format() {
+					t.Errorf("engines disagree:\n--- serial ---\n%s--- parallel ---\n%s",
+						serial.Format(), parallel.Format())
+				}
+				if !racy {
+					if len(serial.Races) != 0 {
+						t.Errorf("false positive on a clean program:\n%s", serial.Format())
+					}
+					return
+				}
+				if len(serial.Races) == 0 {
+					t.Fatalf("missed the seeded violation (attacker p%d):\n%s",
+						prog.attacker, serial.Format())
+				}
+				for _, rc := range serial.Races {
+					if rc.First.Proc != prog.attacker && rc.Second.Proc != prog.attacker {
+						t.Errorf("race does not involve the attacker p%d:\n%s",
+							prog.attacker, serial.Format())
+					}
+				}
+			})
+		}
+	}
+}
