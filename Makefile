@@ -4,7 +4,7 @@
 # parallel scheduler with per-processor conflict domains (the most
 # aggressive windowing). The full suite (go test ./...) adds the
 # application/harness integration tests, which take ~1 min.
-.PHONY: check test bench
+.PHONY: check test bench bench-compare gobench
 
 check:
 	go vet ./...
@@ -16,5 +16,30 @@ check:
 test:
 	go build ./... && go test ./...
 
+# Benchmark workflow (see PERFORMANCE.md). `make bench` runs the scale
+# experiment's 16-256 processor sweep and writes BENCH_$(LABEL).json;
+# `make bench-compare OLD=BENCH_pr7.json NEW=BENCH_local.json` gates the
+# new snapshot against the old one (>10% normalized wall-clock growth or
+# any virtual-result divergence fails). PROCS/TOPOLOGY narrow the sweep,
+# e.g. `make bench PROCS=64`.
+LABEL ?= local
+TOL   ?= 0.10
+BENCH_FLAGS := -label $(LABEL) -snapshot BENCH_$(LABEL).json
+ifdef PROCS
+BENCH_FLAGS += -procs $(PROCS)
+endif
+ifdef TOPOLOGY
+BENCH_FLAGS += -topology $(TOPOLOGY)
+endif
+
 bench:
+	go run ./cmd/shastabench $(BENCH_FLAGS) scale
+
+bench-compare:
+	@test -n "$(OLD)" -a -n "$(NEW)" || { echo "usage: make bench-compare OLD=BENCH_a.json NEW=BENCH_b.json"; exit 2; }
+	go run ./cmd/benchgate -tol $(TOL) $(OLD) $(NEW)
+
+# Host-level Go microbenchmarks (allocation counts, merge heap, stats
+# shards); unrelated to the snapshot workflow above.
+gobench:
 	go test -bench . -benchmem ./...

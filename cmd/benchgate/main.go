@@ -1,0 +1,67 @@
+// Command benchgate compares two shasta-bench/v1 snapshots (see
+// PERFORMANCE.md) and fails when performance regressed.
+//
+// Usage:
+//
+//	benchgate [-tol FRACTION] OLD.json NEW.json
+//
+// Each scenario's wall-clock time is divided by its snapshot's calibration
+// constant (a fixed arithmetic loop timed on the measuring host), so the
+// gate compares host-speed-normalized ratios rather than raw seconds and a
+// faster or slower CI machine does not by itself pass or fail the gate.
+//
+// Exit status:
+//
+//	0  every common scenario within tolerance
+//	1  at least one scenario regressed by more than -tol (default 10%),
+//	   or a scenario's virtual results (cycles, checksum) diverged
+//	2  usage or snapshot-format error
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	tol := flag.Float64("tol", 0.10, "allowed fractional wall-clock growth per scenario")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchgate [-tol FRACTION] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	old, err := harness.ReadBenchSnapshot(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: old snapshot: %v\n", err)
+		os.Exit(2)
+	}
+	new, err := harness.ReadBenchSnapshot(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: new snapshot: %v\n", err)
+		os.Exit(2)
+	}
+
+	cmp := harness.CompareBenchSnapshots(old, new, *tol)
+	fmt.Printf("benchgate: %s (%s) vs %s (%s), tolerance +%.0f%%\n",
+		flag.Arg(0), old.Label, flag.Arg(1), new.Label, *tol*100)
+	fmt.Print(cmp.Report)
+	if len(cmp.Diverged) > 0 {
+		fmt.Printf("FAIL: virtual results diverged: %s\n", strings.Join(cmp.Diverged, ", "))
+	}
+	if len(cmp.Regressed) > 0 {
+		fmt.Printf("FAIL: regressed: %s\n", strings.Join(cmp.Regressed, ", "))
+	}
+	if len(cmp.Diverged)+len(cmp.Regressed) > 0 {
+		os.Exit(1)
+	}
+	fmt.Println("PASS")
+}

@@ -4,11 +4,20 @@
 //
 // Usage:
 //
-//	shastabench [-scale N] [-apps a,b,c] [-obsv DIR] [-parallel auto|on|off] [-inject-race MODE] [list | all | <experiment>...]
+//	shastabench [-scale N] [-apps a,b,c] [-obsv DIR] [-parallel auto|on|off] [-inject-race MODE]
+//	            [-procs N] [-topology NxG] [-snapshot FILE] [-label NAME] [list | all | <experiment>...]
 //
 // Experiments: table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8 micro anl
-// (plus the post-paper ablate, profile, pdes, sharing and races experiments;
-// see 'shastabench list').
+// (plus the post-paper ablate, profile, pdes, sharing, races and scale
+// experiments; see 'shastabench list').
+//
+// -procs, -topology, -snapshot and -label drive the scale experiment:
+// -procs restricts the 16-256 processor sweep to one count, -topology
+// overrides the node arrangement ("NxG" = N processors per SMP node, G
+// nodes per uplink group; "N" alone keeps the interconnect flat), and
+// -snapshot writes the measurements as a shasta-bench/v1 JSON snapshot
+// named by -label for benchgate comparison. See PERFORMANCE.md for the
+// benchmarking workflow.
 //
 // -inject-race restricts the races experiment to one injection mode (none,
 // drop-lock, reorder-publish); by default it runs all three and checks each
@@ -42,6 +51,10 @@ func main() {
 	obsvDir := flag.String("obsv", "", "directory receiving TRACE_*.jsonl traces and BENCH_*.json metrics per run")
 	parFlag := flag.String("parallel", "auto", "simulation scheduler: auto (parallel when the host has >1 core), on, off")
 	injectRace := flag.String("inject-race", "", "races experiment: run only this injection mode (none, drop-lock, reorder-publish)")
+	procs := flag.Int("procs", 0, "scale experiment: run only this processor count (0 = full 16-256 sweep)")
+	topology := flag.String("topology", "", "scale experiment: node arrangement NxG (procs per node x nodes per group; \"N\" = flat)")
+	snapshot := flag.String("snapshot", "", "scale experiment: write a shasta-bench/v1 snapshot to this file")
+	label := flag.String("label", "", "snapshot label (default \"local\")")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: shastabench [-scale N] [-apps a,b,c] [-obsv DIR] [-parallel auto|on|off] [-inject-race MODE] [list | all | <experiment>...]\n\nexperiments:\n")
 		for _, e := range harness.Experiments {
@@ -59,7 +72,14 @@ func main() {
 		return
 	}
 
-	opts := harness.Options{Scale: *scale, InjectRace: *injectRace}
+	opts := harness.Options{
+		Scale:        *scale,
+		InjectRace:   *injectRace,
+		Procs:        *procs,
+		Topology:     *topology,
+		SnapshotPath: *snapshot,
+		BenchLabel:   *label,
+	}
 	if *appsFlag != "" {
 		opts.Apps = strings.Split(*appsFlag, ",")
 	}

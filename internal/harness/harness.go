@@ -34,6 +34,19 @@ type Options struct {
 	// InjectRace restricts the races experiment to one injection mode
 	// (one of apps.RacyInjectModes; empty runs all modes).
 	InjectRace string
+	// Procs restricts the scale experiment to one processor count
+	// (0 = the full 16-256 sweep).
+	Procs int
+	// Topology overrides the scale experiment's node arrangement, as
+	// "NxG" (N processors per SMP node, G nodes per uplink group) or
+	// "N" for a flat interconnect; see parseTopology.
+	Topology string
+	// SnapshotPath, when set, makes the scale experiment write its
+	// measurements as a shasta-bench/v1 snapshot (see PERFORMANCE.md).
+	SnapshotPath string
+	// BenchLabel names the snapshot ("pr7" for BENCH_pr7.json);
+	// defaults to "local".
+	BenchLabel string
 }
 
 // WithDefaults fills unset options.
@@ -73,6 +86,7 @@ var Experiments = []Experiment{
 	{"pdes", "Serial vs parallel simulation scheduler: wall-clock comparison, bit-identity verified", Pdes},
 	{"sharing", "Sharing-pattern observatory: block classification and placement advice vs measured line-size delta", Sharing},
 	{"races", "Race-detector injection: clean and mis-synchronized runs, detector verdict vs ground truth", Races},
+	{"scale", "16-256 processor sweep: hierarchical topologies, scheduler wall-clock, bit-identity at scale", Scale},
 }
 
 // ByID returns the experiment with the given ID.

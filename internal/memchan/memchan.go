@@ -16,22 +16,38 @@
 // Combined with the protocol handler occupancies in package protocol, the
 // model yields the paper's ~20 us two-hop remote fetch and ~11 us
 // intra-node fetch of a 64-byte block.
+//
+// Beyond the paper's flat four-node network, the model scales to
+// hierarchical topologies: nodes are clustered into node groups connected
+// by shared uplinks (Topology.NodesPerGroup), messages crossing a group
+// boundary pay extra first-byte latency (Params.UplinkWire) and are limited
+// to a per-node share of the uplink bandwidth
+// (Params.UplinkBytesPerKCycle), and each node's link may be split into
+// parallel lanes (Params.LinkShards) selected by destination node. All link
+// state stays owned by the sending node's processors, so the hierarchy adds
+// no cross-domain coupling and the parallel scheduler's determinism is
+// preserved.
 package memchan
 
 import (
 	"fmt"
-	"sync/atomic"
 
 	"repro/internal/sim"
 )
 
-// Topology maps processors onto physical SMP nodes.
+// Topology maps processors onto physical SMP nodes, and optionally nodes
+// onto node groups sharing an uplink (hierarchical networks).
 type Topology struct {
 	// NumProcs is the total number of processors.
 	NumProcs int
 	// ProcsPerNode is the number of processors per SMP node (4 for the
 	// AlphaServer 4100s of the prototype).
 	ProcsPerNode int
+	// NodesPerGroup clusters nodes under shared uplinks: messages between
+	// processors in different node groups traverse an uplink on top of
+	// the sender node's link. 0 or 1 means a flat network — every
+	// inter-node message behaves exactly as in the original model.
+	NodesPerGroup int
 }
 
 // Validate checks the topology is well formed.
@@ -42,6 +58,15 @@ func (t Topology) Validate() error {
 	if t.NumProcs%t.ProcsPerNode != 0 && t.NumProcs > t.ProcsPerNode {
 		return fmt.Errorf("memchan: %d processors not divisible into nodes of %d",
 			t.NumProcs, t.ProcsPerNode)
+	}
+	if t.NodesPerGroup < 0 {
+		return fmt.Errorf("memchan: negative NodesPerGroup %d", t.NodesPerGroup)
+	}
+	if t.NodesPerGroup > 1 {
+		if n := t.NumNodes(); n%t.NodesPerGroup != 0 && n > t.NodesPerGroup {
+			return fmt.Errorf("memchan: %d nodes not divisible into groups of %d",
+				n, t.NodesPerGroup)
+		}
 	}
 	return nil
 }
@@ -55,11 +80,42 @@ func (t Topology) NumNodes() int {
 	return n
 }
 
+// Hierarchical reports whether the topology has more than one node group.
+func (t Topology) Hierarchical() bool {
+	return t.NodesPerGroup > 1 && t.NumNodes() > t.NodesPerGroup
+}
+
+// NumNodeGroups returns the number of uplink groups (1 for flat networks).
+func (t Topology) NumNodeGroups() int {
+	if t.NodesPerGroup <= 1 {
+		return 1
+	}
+	g := (t.NumNodes() + t.NodesPerGroup - 1) / t.NodesPerGroup
+	if g == 0 {
+		g = 1
+	}
+	return g
+}
+
 // NodeOf returns the node index hosting processor p.
 func (t Topology) NodeOf(p int) int { return p / t.ProcsPerNode }
 
+// NodeGroupOf returns the uplink group of processor p (0 for flat
+// networks).
+func (t Topology) NodeGroupOf(p int) int {
+	if t.NodesPerGroup <= 1 {
+		return 0
+	}
+	return t.NodeOf(p) / t.NodesPerGroup
+}
+
 // SameNode reports whether two processors share a physical node.
 func (t Topology) SameNode(a, b int) bool { return t.NodeOf(a) == t.NodeOf(b) }
+
+// SameNodeGroup reports whether two processors share an uplink group.
+func (t Topology) SameNodeGroup(a, b int) bool {
+	return t.NodeGroupOf(a) == t.NodeGroupOf(b)
+}
 
 // Params are the timing parameters of the interconnect, in cycles of the
 // 300 MHz processor clock (300 cycles = 1 us).
@@ -80,9 +136,29 @@ type Params struct {
 	// HeaderBytes is added to every message's payload size for
 	// transfer-time purposes.
 	HeaderBytes int
+	// UplinkWire is the extra one-way first-byte latency a message pays
+	// when it crosses a node-group boundary in a hierarchical topology
+	// (added on top of RemoteWire). Ignored on flat topologies; 0 makes
+	// group crossings latency-free.
+	UplinkWire int64
+	// UplinkBytesPerKCycle is the total bandwidth of one shared uplink.
+	// It is divided statically among the nodes of the group (each node
+	// gets an equal share, minimum 1 byte/kcycle), which keeps all link
+	// state owned by the sending node — deterministic under the parallel
+	// scheduler. A cross-group message serializes at the lesser of its
+	// node-link rate and its node's uplink share. 0 means the uplink
+	// imposes no bandwidth limit.
+	UplinkBytesPerKCycle int64
+	// LinkShards splits each node's outgoing link into that many parallel
+	// lanes; a message uses the lane indexed by its destination node.
+	// 0 or 1 models the historical single serial link.
+	LinkShards int
 }
 
-// DefaultParams returns parameters calibrated to the paper's prototype.
+// DefaultParams returns parameters calibrated to the paper's prototype,
+// with uplink figures for hierarchical runs: crossing a group boundary
+// doubles the first-byte latency (a second switch traversal), and one
+// uplink carries 8x a node link's bandwidth, shared by the group's nodes.
 func DefaultParams() Params {
 	return Params{
 		RemoteWire:           1200, // 4 us
@@ -90,6 +166,9 @@ func DefaultParams() Params {
 		LocalWire:            150,  // 0.5 us
 		LocalBytesPerKCycle:  450,  // ~135 MB/s within an SMP
 		HeaderBytes:          16,
+		UplinkWire:           1200, // second hop: another 4 us
+		UplinkBytesPerKCycle: 936,  // 8 node links' worth per uplink
+		LinkShards:           1,
 	}
 }
 
@@ -98,7 +177,8 @@ func DefaultParams() Params {
 // conservative parallel scheduler's window width (sim.Engine.Lookahead):
 // no message sent at time t can arrive before t+Lookahead. Embedders whose
 // concurrency domains only ever exchange inter-node messages may use the
-// larger RemoteWire bound instead.
+// larger RemoteWire bound instead. Uplink latency only adds to RemoteWire,
+// so it never lowers the bound.
 func (p Params) Lookahead() int64 {
 	if p.LocalWire < p.RemoteWire {
 		return p.LocalWire
@@ -106,30 +186,41 @@ func (p Params) Lookahead() int64 {
 	return p.RemoteWire
 }
 
+// shards returns the effective lane count per node link.
+func (p Params) shards() int {
+	if p.LinkShards <= 1 {
+		return 1
+	}
+	return p.LinkShards
+}
+
 // Network computes message latencies and models per-node Memory Channel
 // link occupancy. It is used from inside simulator processor contexts.
 // Under the parallel scheduler, processors of different nodes may call Send
-// concurrently: the per-node link state is only ever touched by the owning
-// node's processors (one conflict domain), and the cross-node diagnostic
-// counters are atomic sums and maxima, which are order-independent — so
-// the reported values match the serial scheduler's exactly.
+// concurrently: all mutable state — link lanes and diagnostic counters — is
+// sharded per node and only ever touched by the owning node's processors
+// (one conflict domain), so no synchronization is needed and the reported
+// values match the serial scheduler's exactly.
 type Network struct {
 	topo Topology
 	par  Params
-	// linkFree[n] is the earliest cycle node n's outgoing Memory Channel
-	// link is free. Accessed only by node n's processors.
+	// uplinkShare is each node's static slice of its group uplink's
+	// bandwidth (0 when the uplink imposes no limit).
+	uplinkShare int64
+	// lanes is the number of link shards per node.
+	lanes int
+	// linkFree[n*lanes+s] is the earliest cycle lane s of node n's
+	// outgoing link is free. Accessed only by node n's processors.
 	linkFree []int64
-	// counters for diagnostics and observability snapshots
-	remoteSends, localSends atomic.Int64
-	remoteBytes             atomic.Int64
-	// linkBusy[n] accumulates cycles node n's link spent serializing
-	// data (accessed only by node n's processors); linkWait accumulates
-	// cycles messages waited for a busy link, and maxBacklog is the
-	// largest single such wait (the deepest the per-node send queue ever
-	// got, in cycles).
-	linkBusy   []int64
-	linkWait   atomic.Int64
-	maxBacklog atomic.Int64
+	// Diagnostic counters, all sharded per sending node and accessed only
+	// by that node's processors; accessors aggregate across nodes, which
+	// is order-independent.
+	remoteSends []int64
+	localSends  []int64
+	remoteBytes []int64
+	linkBusy    []int64
+	linkWait    []int64
+	maxBacklog  []int64
 }
 
 // New builds a network for the topology. It panics on an invalid topology,
@@ -138,12 +229,27 @@ func New(topo Topology, par Params) *Network {
 	if err := topo.Validate(); err != nil {
 		panic(err)
 	}
-	return &Network{
-		topo:     topo,
-		par:      par,
-		linkFree: make([]int64, topo.NumNodes()),
-		linkBusy: make([]int64, topo.NumNodes()),
+	nodes := topo.NumNodes()
+	n := &Network{
+		topo:        topo,
+		par:         par,
+		lanes:       par.shards(),
+		remoteSends: make([]int64, nodes),
+		localSends:  make([]int64, nodes),
+		remoteBytes: make([]int64, nodes),
+		linkBusy:    make([]int64, nodes),
+		linkWait:    make([]int64, nodes),
+		maxBacklog:  make([]int64, nodes),
 	}
+	n.linkFree = make([]int64, nodes*n.lanes)
+	if topo.Hierarchical() && par.UplinkBytesPerKCycle > 0 {
+		share := par.UplinkBytesPerKCycle / int64(topo.NodesPerGroup)
+		if share < 1 {
+			share = 1
+		}
+		n.uplinkShare = share
+	}
+	return n
 }
 
 // Topology returns the network's processor-to-node mapping.
@@ -162,58 +268,81 @@ func transferCycles(bytes int, bytesPerKCycle int64) int64 {
 
 // Send transmits payload of the given size from processor p to dst,
 // computing arrival time from the topology: intra-node messages use the
-// shared-memory queues, inter-node messages use (and occupy) the sender
-// node's Memory Channel link.
+// shared-memory queues; inter-node messages use (and occupy) a lane of the
+// sender node's Memory Channel link; cross-group messages additionally pay
+// the uplink latency and are throttled to the node's uplink share.
 func (n *Network) Send(p *sim.Proc, dst int, payloadBytes int, payload any) {
 	size := payloadBytes + n.par.HeaderBytes
 	if n.topo.SameNode(p.ID, dst) {
-		n.localSends.Add(1)
+		n.localSends[n.topo.NodeOf(p.ID)]++
 		lat := n.par.LocalWire + transferCycles(size, n.par.LocalBytesPerKCycle)
 		p.Send(dst, lat, payload)
 		return
 	}
-	n.remoteSends.Add(1)
-	n.remoteBytes.Add(int64(size))
 	node := n.topo.NodeOf(p.ID)
-	transfer := transferCycles(size, n.par.RemoteBytesPerKCycle)
-	start := p.Now()
-	if n.linkFree[node] > start {
-		wait := n.linkFree[node] - start
-		n.linkWait.Add(wait)
-		for {
-			max := n.maxBacklog.Load()
-			if wait <= max || n.maxBacklog.CompareAndSwap(max, wait) {
-				break
-			}
+	n.remoteSends[node]++
+	n.remoteBytes[node] += int64(size)
+	wire := n.par.RemoteWire
+	rate := n.par.RemoteBytesPerKCycle
+	if !n.topo.SameNodeGroup(p.ID, dst) {
+		wire += n.par.UplinkWire
+		if n.uplinkShare > 0 && n.uplinkShare < rate {
+			rate = n.uplinkShare
 		}
-		start = n.linkFree[node]
+	}
+	transfer := transferCycles(size, rate)
+	lane := node*n.lanes + n.topo.NodeOf(dst)%n.lanes
+	start := p.Now()
+	if n.linkFree[lane] > start {
+		wait := n.linkFree[lane] - start
+		n.linkWait[node] += wait
+		if wait > n.maxBacklog[node] {
+			n.maxBacklog[node] = wait
+		}
+		start = n.linkFree[lane]
 	}
 	n.linkBusy[node] += transfer
-	n.linkFree[node] = start + transfer
-	arrival := start + transfer + n.par.RemoteWire
-	p.SendAt(dst, arrival, payload)
+	n.linkFree[lane] = start + transfer
+	p.SendAt(dst, start+transfer+wire, payload)
+}
+
+// sum adds up a per-node counter shard.
+func sum(xs []int64) int64 {
+	var t int64
+	for _, x := range xs {
+		t += x
+	}
+	return t
 }
 
 // RemoteSends returns the number of inter-node messages sent so far.
-func (n *Network) RemoteSends() int64 { return n.remoteSends.Load() }
+func (n *Network) RemoteSends() int64 { return sum(n.remoteSends) }
 
 // LocalSends returns the number of intra-node messages sent so far.
-func (n *Network) LocalSends() int64 { return n.localSends.Load() }
+func (n *Network) LocalSends() int64 { return sum(n.localSends) }
 
 // RemoteBytes returns total bytes (including headers) pushed over the
 // Memory Channel.
-func (n *Network) RemoteBytes() int64 { return n.remoteBytes.Load() }
+func (n *Network) RemoteBytes() int64 { return sum(n.remoteBytes) }
 
 // LinkBusy returns, per node, the cycles its Memory Channel link spent
-// serializing outgoing data.
+// serializing outgoing data (summed across lanes for sharded links).
 func (n *Network) LinkBusy() []int64 {
 	return append([]int64(nil), n.linkBusy...)
 }
 
 // LinkWait returns the total cycles messages spent queued behind a busy
 // Memory Channel link.
-func (n *Network) LinkWait() int64 { return n.linkWait.Load() }
+func (n *Network) LinkWait() int64 { return sum(n.linkWait) }
 
 // MaxLinkBacklog returns the largest single wait a message incurred behind
 // a busy link, in cycles — the deepest any node's send queue got.
-func (n *Network) MaxLinkBacklog() int64 { return n.maxBacklog.Load() }
+func (n *Network) MaxLinkBacklog() int64 {
+	var m int64
+	for _, x := range n.maxBacklog {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -340,10 +340,7 @@ func (p *Proc) batchIssue(base int, need need2) (*missEntry, bool) {
 		// Merge with the pending request. (Acknowledgement-waiting
 		// entries are skipped: their data phase is over, so the state
 		// switch below decides instead.)
-		if entry.waiters == nil {
-			entry.waiters = make(map[int]bool)
-		}
-		entry.waiters[p.id] = true
+		entry.waiters.add(p.id)
 		if store {
 			entry.wantExcl = true
 		}

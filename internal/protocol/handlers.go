@@ -2,7 +2,6 @@ package protocol
 
 import (
 	"fmt"
-	"math/bits"
 
 	"repro/internal/memory"
 	"repro/internal/stats"
@@ -56,12 +55,8 @@ func (p *Proc) wake(dst int) {
 
 // wakeAll wakes every waiter in the set, in processor order so the
 // simulation schedule stays deterministic.
-func (p *Proc) wakeAll(waiters map[int]bool) {
-	for w := 0; w < p.sys.cfg.NumProcs; w++ {
-		if waiters[w] {
-			p.wake(w)
-		}
-	}
+func (p *Proc) wakeAll(waiters procSet) {
+	waiters.forEach(func(w int) { p.wake(w) })
 }
 
 // debugTraceBlock, when nonnegative, logs every protocol message for the
@@ -169,7 +164,7 @@ func (p *Proc) handleReadReq(m *pmsg) {
 	case sameGroup:
 		// Requester and home are colocated; the data is not on this
 		// node (or the requester would not have missed), so forward.
-		de.sharers |= bit(R)
+		de.sharers.add(R)
 		p.send(de.owner, &pmsg{kind: mReadFwd, baseLine: base, requester: R,
 			seq: de.seq, issueTime: m.issueTime}, stats.Message)
 		p.unlockBlock(base)
@@ -177,7 +172,7 @@ func (p *Proc) handleReadReq(m *pmsg) {
 	case homeIsSharer && st == memory.Shared:
 		// The home node has a clean copy: serve directly (2 hops),
 		// avoiding the forward to the owner.
-		de.sharers |= bit(R)
+		de.sharers.add(R)
 		m.seq = de.seq
 		p.replyData(R, base, m, 2)
 		p.unlockBlock(base)
@@ -186,7 +181,7 @@ func (p *Proc) handleReadReq(m *pmsg) {
 		// The home group is the owner: downgrade exclusive-to-shared
 		// locally and serve (still 2 hops). The data is clean from here
 		// on.
-		de.sharers |= bit(R)
+		de.sharers.add(R)
 		de.dirty = false
 		m.seq = de.seq
 		p.startDowngrade(base, memory.Shared, memory.Exclusive, func(h *Proc) {
@@ -205,7 +200,7 @@ func (p *Proc) handleReadReq(m *pmsg) {
 		// The home group holds a valid shared copy while its own
 		// upgrade is outstanding; the read was serialized at the home
 		// before the upgrade, so serve the current data.
-		de.sharers |= bit(R)
+		de.sharers.add(R)
 		m.seq = de.seq
 		p.replyData(R, base, m, 2)
 		p.unlockBlock(base)
@@ -220,7 +215,7 @@ func (p *Proc) handleReadReq(m *pmsg) {
 	default:
 		// The data is elsewhere (whatever the lagging local state
 		// says): forward to the owner.
-		de.sharers |= bit(R)
+		de.sharers.add(R)
 		p.send(de.owner, &pmsg{kind: mReadFwd, baseLine: base, requester: R,
 			seq: de.seq, issueTime: m.issueTime}, stats.Message)
 		p.unlockBlock(base)
@@ -248,8 +243,8 @@ func (p *Proc) handleReadExclReq(m *pmsg) {
 	entry := p.grp.miss[base]
 	forward := func() {
 		owner := de.owner
-		targets := de.sharers &^ (p.sys.groupMask(R) | bit(owner))
-		acks := bits.OnesCount32(targets)
+		targets := de.sharers.andNot(p.sys.groupMask(R).or(bit(owner)))
+		acks := targets.count()
 		de.seq++
 		p.send(owner, &pmsg{kind: mReadExclFwd, baseLine: base, requester: R,
 			seq: de.seq, acks: acks, issueTime: m.issueTime}, stats.Message)
@@ -280,9 +275,9 @@ func (p *Proc) handleReadExclReq(m *pmsg) {
 		// Home group has a clean copy confirmed by the directory:
 		// capture and send the data, invalidate every other sharer,
 		// and invalidate the home group's own copy locally.
-		external := de.sharers &^ (bit(R) | bit(homeSharer))
+		external := de.sharers.andNot(bit(R).or(bit(homeSharer)))
 		data := append([]byte(nil), p.grp.img.BlockData(base)...)
-		acks := bits.OnesCount32(external)
+		acks := external.count()
 		de.seq++
 		p.send(R, &pmsg{kind: mDataExclReply, baseLine: base, data: data,
 			seq: de.seq, acks: acks, hops: 2, issueTime: m.issueTime}, stats.Message)
@@ -319,7 +314,7 @@ func (p *Proc) handleUpgradeReq(m *pmsg) {
 	base, R := m.baseLine, m.requester
 	de := p.getDir(base)
 	gm := p.sys.groupMask(R)
-	if de.sharers&gm == 0 ||
+	if de.sharers.and(gm).empty() ||
 		(de.dirty && p.sys.procs[de.owner].grp != p.sys.procs[R].grp) {
 		// Convert to a read-exclusive when the node's copy was
 		// invalidated while the upgrade was in flight (it lost the race
@@ -336,8 +331,8 @@ func (p *Proc) handleUpgradeReq(m *pmsg) {
 		p.charge(stats.Message, c.HomeHandler)
 		p.lockBlock(base)
 		owner := de.owner
-		targets := de.sharers &^ bit(owner)
-		acks := bits.OnesCount32(targets)
+		targets := de.sharers.andNot(bit(owner))
+		acks := targets.count()
 		de.seq++
 		p.send(owner, &pmsg{kind: mReadExclFwd, baseLine: base, requester: R,
 			seq: de.seq, acks: acks, issueTime: m.issueTime}, stats.Message)
@@ -349,8 +344,8 @@ func (p *Proc) handleUpgradeReq(m *pmsg) {
 	c := p.sys.cfg.Costs
 	p.charge(stats.Message, c.HomeHandler)
 	p.lockBlock(base)
-	targets := de.sharers &^ gm
-	acks := bits.OnesCount32(targets)
+	targets := de.sharers.andNot(gm)
+	acks := targets.count()
 	de.seq++
 	p.send(R, &pmsg{kind: mUpgradeAck, baseLine: base, seq: de.seq, acks: acks,
 		hops: 2, issueTime: m.issueTime}, stats.Message)
@@ -361,9 +356,9 @@ func (p *Proc) handleUpgradeReq(m *pmsg) {
 
 // groupSharer returns the processor ID in p's group present in the sharer
 // set, or -1.
-func (p *Proc) groupSharer(sharers uint32) int {
+func (p *Proc) groupSharer(sharers procSet) int {
 	for _, mem := range p.grp.members {
-		if sharers&bit(mem) != 0 {
+		if sharers.has(mem) {
 			return mem
 		}
 	}
@@ -373,21 +368,19 @@ func (p *Proc) groupSharer(sharers uint32) int {
 // sendInvals sends invalidations to every processor in the target set, with
 // acknowledgements directed to the requester and the granting transaction's
 // sequence number attached.
-func (p *Proc) sendInvals(base int, targets uint32, requester int, seq int64) {
-	if debugTraceBlock >= 0 && base == debugTraceBlock && targets != 0 {
-		fmt.Printf("[blk%d @%d] proc %d sends invals to %x for R%d seq %d\n",
+func (p *Proc) sendInvals(base int, targets procSet, requester int, seq int64) {
+	if targets.empty() {
+		return
+	}
+	if debugTraceBlock >= 0 && base == debugTraceBlock {
+		fmt.Printf("[blk%d @%d] proc %d sends invals to %v for R%d seq %d\n",
 			base, p.sp.Now(), p.id, targets, requester, seq)
 	}
-	if targets != 0 {
-		p.blockStat(base).InvalsSent += int64(bits.OnesCount32(targets))
-	}
-	for t := 0; targets != 0; t++ {
-		if targets&1 != 0 {
-			p.send(t, &pmsg{kind: mInval, baseLine: base, requester: requester,
-				seq: seq}, stats.Message)
-		}
-		targets >>= 1
-	}
+	p.blockStat(base).InvalsSent += int64(targets.count())
+	targets.forEach(func(t int) {
+		p.send(t, &pmsg{kind: mInval, baseLine: base, requester: requester,
+			seq: seq}, stats.Message)
+	})
 }
 
 // replyData sends a shared-data reply for a block.
@@ -962,7 +955,6 @@ func (p *Proc) startDowngrade(base int, target, preState memory.State, action fu
 		remaining: len(recipients),
 		preState:  preState,
 		action:    action,
-		waiters:   make(map[int]bool),
 	}
 	p.grp.downgrades[base] = dg
 	kind := mDowngradeToInvalid

@@ -87,6 +87,13 @@ type Config struct {
 	NumProcs int
 	// ProcsPerNode is the SMP node size (4 on the AlphaServer 4100s).
 	ProcsPerNode int
+	// NodesPerGroup switches the interconnect to a hierarchical topology:
+	// nodes are grouped in clusters of this many under a shared uplink,
+	// and messages between node groups pay the uplink latency and
+	// bandwidth on top of the node link (see memchan.Topology). 0 or 1
+	// keeps the historical flat network. Scale experiments beyond ~16
+	// processors use this to model realistic switch hierarchies.
+	NodesPerGroup int
 	// Clustering is the sharing-group size: 1 reproduces Base-Shasta
 	// (each processor runs the protocol privately, though intra-node
 	// messages still use the fast shared-memory queues); 2 or 4 runs
@@ -110,6 +117,15 @@ type Config struct {
 	// back to serial when the run has a single conflict domain (one node,
 	// or Hardware mode's global sharing group).
 	Parallel bool
+	// FixedWindows forces the parallel scheduler's original fixed
+	// lookahead windows, disabling the adaptive per-domain window
+	// extension. Results are bit-identical either way; the knob exists so
+	// benchmarks can measure what the adaptive windows buy.
+	FixedWindows bool
+	// WindowCap bounds how far an adaptive window may run ahead of a
+	// domain's own virtual time, in cycles. 0 selects the engine default
+	// (64 lookaheads). Only meaningful with Parallel and not FixedWindows.
+	WindowCap int64
 	// ForceSMPChecks makes the inline checks use the SMP-Shasta code
 	// sequences even when Clustering is 1. The Table 1 checking-overhead
 	// experiment measures SMP-Shasta checks on a single processor.
@@ -179,6 +195,10 @@ func (c Config) WithDefaults() Config {
 func (c Config) Validate() error {
 	if c.NumProcs <= 0 {
 		return fmt.Errorf("protocol: NumProcs %d", c.NumProcs)
+	}
+	if c.NumProcs > MaxProcs {
+		return fmt.Errorf("protocol: NumProcs %d exceeds the %d-processor limit (raise procSetWords)",
+			c.NumProcs, MaxProcs)
 	}
 	if c.Clustering > c.ProcsPerNode {
 		return fmt.Errorf("protocol: clustering %d exceeds node size %d",

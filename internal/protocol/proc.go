@@ -284,10 +284,7 @@ func (p *Proc) loadMiss(addr memory.Addr, size int) uint64 {
 				p.unlockBlock(base)
 				return v
 			}
-			if entry.waiters == nil {
-				entry.waiters = make(map[int]bool)
-			}
-			entry.waiters[p.id] = true
+			entry.waiters.add(p.id)
 			p.st.MergedMisses++
 			p.unlockBlock(base)
 			// Once the entry's data arrives — or the entry completes,
@@ -366,10 +363,7 @@ func (p *Proc) waitDowngrade(base int) {
 	if dg == nil {
 		return
 	}
-	if dg.waiters == nil {
-		dg.waiters = make(map[int]bool)
-	}
-	dg.waiters[p.id] = true
+	dg.waiters.add(p.id)
 	start := p.sp.Now()
 	p.stallUntil(stats.Other, "downgrade-wait", func() bool { return dg.done })
 	p.st.DowngradeCycles += p.sp.Now() - start
@@ -515,10 +509,7 @@ func (p *Proc) stallOutstanding() {
 	// completion wakes us.
 	for _, e := range p.grp.miss {
 		if e.issuer == p.id && e.hasStores && !e.complete {
-			if e.waiters == nil {
-				e.waiters = make(map[int]bool)
-			}
-			e.waiters[p.id] = true
+			e.waiters.add(p.id)
 		}
 	}
 	p.stallUntil(stats.Write, "store-limit", func() bool {
@@ -546,7 +537,6 @@ func (p *Proc) newMissEntry(base int, kind stats.MissKind, rdMask, wrMask uint64
 		issuer:    p.id,
 		issueTime: p.sp.Now(),
 		epoch:     p.grp.epoch,
-		waiters:   make(map[int]bool),
 	}
 	p.grp.miss[base] = e
 	return e

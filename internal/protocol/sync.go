@@ -62,12 +62,7 @@ func (p *Proc) releaseStores() {
 	if clear() {
 		return
 	}
-	register := func(e *missEntry) {
-		if e.waiters == nil {
-			e.waiters = make(map[int]bool)
-		}
-		e.waiters[p.id] = true
-	}
+	register := func(e *missEntry) { e.waiters.add(p.id) }
 	for _, e := range g.miss {
 		if qualifies(e) {
 			register(e)

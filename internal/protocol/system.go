@@ -50,7 +50,11 @@ type System struct {
 type group struct {
 	id      int
 	members []int
-	img     *memory.Image
+	// mask is the precomputed procSet of members, consulted on every
+	// upgrade/forward decision (the old per-call loop showed up in host
+	// profiles at high processor counts).
+	mask procSet
+	img  *memory.Image
 	// miss is the group's miss table, keyed by block base line.
 	miss map[int]*missEntry
 	// locks maps a block base line to the processor holding its line
@@ -103,7 +107,7 @@ type missEntry struct {
 	stores []storeRec
 	// waiters are processors to wake when the entry's data arrives or
 	// the entry completes (merged read misses, release stalls).
-	waiters map[int]bool
+	waiters procSet
 	// queued holds incoming protocol messages that must wait for this
 	// entry to complete (e.g. a forward arriving while our own request
 	// for the block is still outstanding).
@@ -128,7 +132,7 @@ type dgEntry struct {
 	// queued holds requests that arrived during the downgrade.
 	queued []*pmsg
 	// waiters are local processors stalled on the downgrade finishing.
-	waiters map[int]bool
+	waiters procSet
 	done    bool
 }
 
@@ -139,7 +143,7 @@ type dgEntry struct {
 // traffic serialized at one processor per node.
 type dirEntry struct {
 	owner   int
-	sharers uint32
+	sharers procSet
 	// seq counts exclusivity grants; see pmsg.seq.
 	seq int64
 	// dirty records that the owner holds (or has been granted and still
@@ -152,8 +156,6 @@ type dirEntry struct {
 	dirty bool
 }
 
-func bit(p int) uint32 { return 1 << uint(p) }
-
 // New builds a system for the configuration. It panics on an invalid
 // configuration (a programming error in the experiment setup).
 func New(cfg Config) *System {
@@ -161,7 +163,8 @@ func New(cfg Config) *System {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	topo := memchan.Topology{NumProcs: cfg.NumProcs, ProcsPerNode: cfg.ProcsPerNode}
+	topo := memchan.Topology{NumProcs: cfg.NumProcs, ProcsPerNode: cfg.ProcsPerNode,
+		NodesPerGroup: cfg.NodesPerGroup}
 	if cfg.NumProcs < cfg.ProcsPerNode {
 		topo.ProcsPerNode = cfg.NumProcs
 	}
@@ -194,6 +197,7 @@ func New(cfg Config) *System {
 		}
 		for m := gi * groupSize; m < (gi+1)*groupSize && m < cfg.NumProcs; m++ {
 			g.members = append(g.members, m)
+			g.mask.add(m)
 		}
 		s.groups[gi] = g
 	}
@@ -230,6 +234,8 @@ func New(cfg Config) *System {
 	// Params.Lookahead bound) a valid lookahead.
 	s.eng.Parallel = cfg.Parallel
 	s.eng.Lookahead = cfg.Net.RemoteWire
+	s.eng.FixedWindows = cfg.FixedWindows
+	s.eng.WindowCap = cfg.WindowCap
 	s.eng.SetDomains(conflictDomains(topo, groupSize, cfg.NumProcs))
 	s.eng.SetEmitFunc(s.emitTrace)
 	return s
@@ -318,14 +324,8 @@ func (s *System) barrierArrivals() int {
 	return s.cfg.NumProcs
 }
 
-// groupMask returns the bitmask of all processors in p's sharing group.
-func (s *System) groupMask(p int) uint32 {
-	var m uint32
-	for _, mem := range s.procs[p].grp.members {
-		m |= bit(mem)
-	}
-	return m
-}
+// groupMask returns the bitset of all processors in p's sharing group.
+func (s *System) groupMask(p int) procSet { return s.procs[p].grp.mask }
 
 // homeProc returns the home processor of the page containing addr.
 func (s *System) homeProc(addr memory.Addr) int {

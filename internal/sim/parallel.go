@@ -66,17 +66,87 @@ func (e *Engine) buildDomains() {
 	}
 }
 
+// defaultWindowCapLookaheads is the adaptive-window run-ahead bound, in
+// lookaheads, when Engine.WindowCap is 0.
+const defaultWindowCapLookaheads = 64
+
+// satAdd adds two non-negative cycle counts, saturating at MaxInt64.
+func satAdd(a, b int64) int64 {
+	if a > math.MaxInt64-b {
+		return math.MaxInt64
+	}
+	return a + b
+}
+
 // runWindows executes the program as a sequence of lookahead windows. The
 // coordinator (this goroutine) computes each window, dispatches one worker
 // per active domain, and on join merges staged cross-domain messages, runs
 // deferred fences, and flushes emissions below the next floor.
+//
+// Window widths are adaptive per domain unless Engine.FixedWindows is set.
+// The fixed window [T, T+L) starves parallelism when domains' virtual times
+// drift apart — a domain at T+50L waits idle for tens of windows while the
+// laggard catches up. The safe bound is per-receiver: domain i cannot
+// receive anything before
+//
+//	H_i = min over other domains j of (tDom_j + L)
+//
+// where tDom_j is j's earliest next-run time at the window start (idle
+// domains — blocked with an empty inbox — are excluded: they act only after
+// being woken by a message, so anything they send arrives at least 2L after
+// some running domain's start, beyond every H). Two dynamic truncations
+// keep extension safe while the window runs, both written only by the
+// owning domain's processors (which alternate strictly with the domain's
+// worker, so no synchronization is needed):
+//
+//   - reflection: once domain i sends a cross-domain message arriving at a,
+//     the receiver can react at a and reply with ≥ L more latency, so i
+//     must not run to a+L or beyond (Engine.domReflect, written in post);
+//   - fences: a fence registered by domain i at time t resolves at cut
+//     t+L, which other domains never reach (H_j ≤ tDom_i + L ≤ cut) but
+//     i's own extended window could overrun (Engine.domFenceCap, written
+//     in Fence).
+//
+// Every per-domain end also caps at tDom_i + WindowCap (bounding unchecked
+// run-ahead when all other domains are idle) and truncates at pending fence
+// cuts, and never falls below the fixed T+L, so adaptive windows are a pure
+// extension. Results stay bit-identical: all merge points remain keyed by
+// virtual time alone, and no domain ever simulates past a time at which a
+// message could still arrive.
 func (e *Engine) runWindows() int64 {
+	nd := len(e.domains)
+	if cap(e.domNext) < nd {
+		e.domNext = make([]int64, nd)
+		e.domEnd = make([]int64, nd)
+		e.domFenceCap = make([]int64, nd)
+		e.domReflect = make([]int64, nd)
+	} else {
+		e.domNext = e.domNext[:nd]
+		e.domEnd = e.domEnd[:nd]
+		e.domFenceCap = e.domFenceCap[:nd]
+		e.domReflect = e.domReflect[:nd]
+	}
+	capWidth := e.WindowCap
+	if capWidth <= 0 {
+		capWidth = defaultWindowCapLookaheads * e.Lookahead
+	}
+	if capWidth < e.Lookahead {
+		capWidth = e.Lookahead
+	}
 	var lastFloor int64 = -1
 	for {
-		// T = earliest next-run time across all processors.
+		// T = earliest next-run time across all processors; per-domain
+		// minima feed the adaptive window ends.
 		T := int64(math.MaxInt64)
-		for _, p := range e.procs {
-			if t, ok := e.nextTime(p); ok && t < T {
+		for di, dom := range e.domains {
+			t := int64(math.MaxInt64)
+			for _, p := range dom {
+				if tt, ok := e.nextTime(p); ok && tt < t {
+					t = tt
+				}
+			}
+			e.domNext[di] = t
+			if t < T {
 				T = t
 			}
 		}
@@ -101,23 +171,55 @@ func (e *Engine) runWindows() int64 {
 			e.flushTo(T)
 			lastFloor = T
 		}
-		e.windowEnd = T + e.Lookahead
-		// A pending fence cut truncates the window so no processor records
-		// a charge starting at or past the cut before the fence resolves.
-		if c, ok := e.minFenceCut(); ok && c < e.windowEnd {
-			e.windowEnd = c
-		}
-
-		// Domains with any processor runnable inside the window.
-		var active []int
-		for di, dom := range e.domains {
-			for _, p := range dom {
-				if t, ok := e.nextTime(p); ok && t < e.windowEnd {
-					active = append(active, di)
-					break
+		fixedEnd := T + e.Lookahead
+		// A pending fence cut truncates every window end so no processor
+		// records a charge starting at or past the cut before the fence
+		// resolves.
+		cut, hasCut := e.minFenceCut()
+		// Smallest and second-smallest finite domain times, for the
+		// min-over-others bound without an O(domains²) pass.
+		min1, min2 := int64(math.MaxInt64), int64(math.MaxInt64)
+		minIdx := -1
+		if !e.FixedWindows {
+			for di, t := range e.domNext {
+				if t < min1 {
+					min1, min2, minIdx = t, min1, di
+				} else if t < min2 {
+					min2 = t
 				}
 			}
 		}
+		for di := range e.domains {
+			end := fixedEnd
+			if !e.FixedWindows {
+				other := min1
+				if di == minIdx {
+					other = min2
+				}
+				end = satAdd(other, e.Lookahead)
+				if lim := satAdd(e.domNext[di], capWidth); lim < end {
+					end = lim
+				}
+				if end < fixedEnd {
+					end = fixedEnd
+				}
+			}
+			if hasCut && cut < end {
+				end = cut
+			}
+			e.domEnd[di] = end
+			e.domFenceCap[di] = math.MaxInt64
+			e.domReflect[di] = math.MaxInt64
+		}
+
+		// Domains with any processor runnable inside their window.
+		active := e.activeBuf[:0]
+		for di := range e.domains {
+			if e.domNext[di] < e.domEnd[di] {
+				active = append(active, di)
+			}
+		}
+		e.windowCount++
 		// One worker per active domain; the coordinator runs the first
 		// domain itself so a single-domain window costs no goroutine.
 		if len(active) == 1 {
@@ -134,6 +236,7 @@ func (e *Engine) runWindows() int64 {
 			e.runDomain(active[0])
 			wwg.Wait()
 		}
+		e.activeBuf = active[:0]
 		e.checkPanic()
 
 		// Merge staged cross-domain sends. Push order is irrelevant to
@@ -155,12 +258,30 @@ func (e *Engine) runWindows() int64 {
 	return maxFinish
 }
 
+// domEndNow returns domain di's current effective window end: the window-
+// start end truncated by the domain's own in-window fence registrations and
+// cross-domain sends (reflection bound). Called only by the domain's worker
+// and its processors, which alternate strictly.
+func (e *Engine) domEndNow(di int) int64 {
+	end := e.domEnd[di]
+	if c := e.domFenceCap[di]; c < end {
+		end = c
+	}
+	if r := e.domReflect[di]; r < end {
+		end = r
+	}
+	return end
+}
+
 // runDomain runs one conflict domain's processors cooperatively until none
-// can act before the window end. Within the domain this is exactly the
-// serial rule: smallest (next-run time, processor ID) first.
+// can act before the domain's window end. Within the domain this is exactly
+// the serial rule: smallest (next-run time, processor ID) first. The end is
+// re-read each pick: the domain's own sends and fence registrations shrink
+// it while the window runs.
 func (e *Engine) runDomain(di int) {
 	dom := e.domains[di]
 	for {
+		end := e.domEndNow(di)
 		var next *Proc
 		bestT := int64(math.MaxInt64)
 		for _, p := range dom {
@@ -168,7 +289,7 @@ func (e *Engine) runDomain(di int) {
 				next, bestT = p, t
 			}
 		}
-		if next == nil || bestT >= e.windowEnd {
+		if next == nil || bestT >= end {
 			return
 		}
 		if next.state == stateBlocked {
@@ -177,7 +298,7 @@ func (e *Engine) runDomain(di int) {
 			}
 		}
 		next.state = stateRunning
-		next.horizon = e.domainHorizon(next, dom)
+		next.horizon = e.domainHorizon(next, dom, end)
 		next.resume <- struct{}{}
 		k := <-next.yielded
 		switch k {
@@ -191,12 +312,13 @@ func (e *Engine) runDomain(di int) {
 	}
 }
 
-// domainHorizon bounds how far p may run: the window end or the earliest
-// next-run time among its domain peers, whichever is sooner. (A processor
-// yields once its clock reaches the horizon, so actions strictly inside
-// the window still execute.)
-func (e *Engine) domainHorizon(p *Proc, dom []*Proc) int64 {
-	h := e.windowEnd
+// domainHorizon bounds how far p may run: the domain's window end or the
+// earliest next-run time among its domain peers, whichever is sooner. (A
+// processor yields once its clock reaches the horizon, so actions strictly
+// inside the window still execute; post() further shrinks the running
+// processor's own horizon when it sends.)
+func (e *Engine) domainHorizon(p *Proc, dom []*Proc, end int64) int64 {
+	h := end
 	for _, q := range dom {
 		if q == p {
 			continue
@@ -232,28 +354,65 @@ func (e *Engine) flushTo(floor int64) {
 
 // mergeEmits is a k-way merge of the per-processor emission buffers by
 // (time, proc); within one processor, buffer order (program order) is
-// already time-sorted because a processor's clock never decreases.
+// already time-sorted because a processor's clock never decreases. The
+// merge runs on an index min-heap over the processors with deliverable
+// emissions, so each delivery costs O(log P) instead of the O(P) scan the
+// original implementation paid — the difference dominates trace-heavy runs
+// at high processor counts. The heap's backing array is reused across
+// calls (Engine.emitHeap); the merge allocates nothing in steady state.
 func (e *Engine) mergeEmits(floor int64) {
-	for {
-		best := -1
-		var bestT int64
-		for i, p := range e.procs {
-			if p.emitStart < len(p.emits) {
-				t := p.emits[p.emitStart].time
-				if t < floor && (best < 0 || t < bestT) {
-					best, bestT = i, t
-				}
+	// emitKey orders heap entries by (next emission time, processor ID) —
+	// exactly the order the linear scan produced.
+	less := func(a, b int) bool {
+		pa, pb := e.procs[a], e.procs[b]
+		ta, tb := pa.emits[pa.emitStart].time, pb.emits[pb.emitStart].time
+		if ta != tb {
+			return ta < tb
+		}
+		return a < b
+	}
+	h := e.emitHeap[:0]
+	for i, p := range e.procs {
+		if p.emitStart < len(p.emits) && p.emits[p.emitStart].time < floor {
+			h = append(h, i)
+		}
+	}
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			s := i
+			if l < len(h) && less(h[l], h[s]) {
+				s = l
 			}
+			if r < len(h) && less(h[r], h[s]) {
+				s = r
+			}
+			if s == i {
+				return
+			}
+			h[i], h[s] = h[s], h[i]
+			i = s
 		}
-		if best < 0 {
-			break
-		}
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+	for len(h) > 0 {
+		best := h[0]
 		p := e.procs[best]
 		r := p.emits[p.emitStart]
 		p.emits[p.emitStart] = emitRec{} // free the payload
 		p.emitStart++
 		e.emitFn(r.time, best, r.payload)
+		if p.emitStart < len(p.emits) && p.emits[p.emitStart].time < floor {
+			siftDown(0)
+		} else {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+			siftDown(0)
+		}
 	}
+	e.emitHeap = h[:0]
 	for _, p := range e.procs {
 		if p.emitStart == len(p.emits) {
 			p.emits = p.emits[:0]

@@ -206,12 +206,20 @@ func (p *Proc) post(dst int, arrival int64, payload any) {
 	m := Message{Src: p.ID, Dst: dst, Arrival: arrival,
 		sendTime: p.now, srcSeq: p.sendSeq, Payload: payload}
 	if e.windowed && e.procs[dst].domain != p.domain {
-		if arrival < e.windowEnd {
+		if dd := e.procs[dst].domain; arrival < e.domEnd[dd] {
 			panic(fmt.Sprintf(
 				"sim: lookahead violation: proc %d (domain %d) sent to proc %d (domain %d) "+
-					"arriving at %d inside the window ending at %d; cross-domain latency "+
-					"must be at least the lookahead (%d)",
-				p.ID, p.domain, dst, e.procs[dst].domain, arrival, e.windowEnd, e.Lookahead))
+					"arriving at %d inside the destination's window ending at %d; cross-domain "+
+					"latency must be at least the lookahead (%d)",
+				p.ID, p.domain, dst, dd, arrival, e.domEnd[dd], e.Lookahead))
+		}
+		// The receiver may react at arrival and reply with at least one
+		// more lookahead of latency, so this domain's extended window
+		// must not run to arrival+Lookahead or beyond (see parallel.go).
+		// Only this domain's processors and its (currently parked) worker
+		// touch the slot, so the write is race-free.
+		if rc := arrival + e.Lookahead; rc < e.domReflect[p.domain] {
+			e.domReflect[p.domain] = rc
 		}
 		p.outbox = append(p.outbox, m)
 	} else {
@@ -339,11 +347,20 @@ func (p *Proc) Fence(f func(proc int, at *stats.Proc)) {
 	e.fences = append(e.fences, fenceRec{time: p.now, proc: p.ID, f: f})
 	e.fenceMu.Unlock()
 	// Cap the caller's own running slice at the cut, exactly like post()
-	// does for a message arriving before the horizon. (Under the parallel
-	// scheduler this is a no-op: the horizon never exceeds the window end,
-	// which never exceeds the cut.)
-	if cut := p.now + e.Lookahead; cut < p.horizon {
+	// does for a message arriving before the horizon.
+	cut := p.now + e.Lookahead
+	if cut < p.horizon {
 		p.horizon = cut
+	}
+	// Under adaptive windows the caller's domain peers may be scheduled
+	// beyond the cut (the domain's extended end can exceed it); cap the
+	// domain so they stop there, like the serial scheduler caps slice
+	// horizons. Other domains' window ends never exceed the cut: they are
+	// bounded by this domain's start time plus one lookahead. The slot is
+	// only touched by this domain's processors and its parked worker, so
+	// the write is race-free.
+	if e.windowed && cut < e.domFenceCap[p.domain] {
+		e.domFenceCap[p.domain] = cut
 	}
 }
 
@@ -437,6 +454,15 @@ type Engine struct {
 	// execute in parallel. The embedder must guarantee the bound; the
 	// engine panics on a violating send.
 	Lookahead int64
+	// FixedWindows forces the original fixed [T, T+L) windows, disabling
+	// the adaptive per-domain window extension (see parallel.go). Results
+	// are bit-identical either way; the knob exists so benchmarks can
+	// measure what the adaptive windows buy.
+	FixedWindows bool
+	// WindowCap bounds how far an adaptive window may run ahead of a
+	// domain's own next-run time, in cycles. 0 selects the default of 64
+	// lookaheads; values below the lookahead are raised to it.
+	WindowCap int64
 
 	procs    []*Proc
 	domainOf []int     // optional processor -> domain label (SetDomains)
@@ -446,13 +472,25 @@ type Engine struct {
 
 	// Per-run state, fully reset by Run.
 	windowed  bool
-	windowEnd int64
 	abort     chan struct{}
 	abortOnce sync.Once
 	panicCh   chan procPanic
 	wg        sync.WaitGroup
 	fenceMu   sync.Mutex
 	fences    []fenceRec
+	// Per-domain window state (see parallel.go). domEnd is immutable
+	// while a window's workers run; domFenceCap and domReflect are
+	// per-domain truncations written only by the owning domain's
+	// processors. All are indexed by domain.
+	domNext     []int64
+	domEnd      []int64
+	domFenceCap []int64
+	domReflect  []int64
+	// activeBuf and emitHeap are reusable scratch buffers for the window
+	// loop and the emission merge (hot paths at high processor counts).
+	activeBuf   []int
+	emitHeap    []int
+	windowCount int64
 }
 
 // NewEngine creates an engine with n processor contexts. Statistics
@@ -467,6 +505,11 @@ func NewEngine(n int) *Engine {
 
 // NumProcs returns the number of processor contexts.
 func (e *Engine) NumProcs() int { return len(e.procs) }
+
+// WindowsRun returns how many parallel windows the last Run executed (0
+// under the serial scheduler). It is a host-side scheduling diagnostic —
+// never part of simulation results, which are scheduler-independent.
+func (e *Engine) WindowsRun() int64 { return e.windowCount }
 
 // Proc returns processor i's context (for wiring Stats before Run).
 func (e *Engine) Proc(i int) *Proc { return e.procs[i] }
@@ -538,7 +581,9 @@ func (e *Engine) resetRun(body func(*Proc)) {
 	e.panicCh = make(chan procPanic, len(e.procs))
 	e.wg = sync.WaitGroup{}
 	e.fences = nil
-	e.windowEnd = 0
+	e.windowCount = 0
+	e.emitHeap = e.emitHeap[:0]
+	e.activeBuf = e.activeBuf[:0]
 	for _, p := range e.procs {
 		p.body = body
 		p.state = stateReady

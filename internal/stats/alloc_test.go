@@ -1,0 +1,97 @@
+package stats
+
+// Tests for the per-block shard hot path: the last-block lookup cache, the
+// chunked arena, and their interaction with Clone, Sub and Reset.
+
+import "testing"
+
+// TestBlockLookupCacheNoAllocs pins the steady-state cost of the inline
+// counter path: once a block's shard exists, repeated Block calls — the
+// pattern protocol handlers generate — allocate nothing.
+func TestBlockLookupCacheNoAllocs(t *testing.T) {
+	var p Proc
+	p.Block(4096).InvalsRecv++ // first touch: map + arena chunk
+	allocs := testing.AllocsPerRun(50, func() {
+		for i := 0; i < 200; i++ {
+			p.Block(4096).InvalsSent++
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cached Block lookups allocate %.1f objects, want 0", allocs)
+	}
+}
+
+// TestBlockArenaAmortizesAllocation bounds the allocation count of
+// first-touching many blocks: the arena hands out BlockStat values in
+// chunks of blockArenaChunk, so 4096 fresh blocks must cost far fewer than
+// the 4096 individual allocations the pre-arena code performed (what
+// remains is ~64 chunks plus map growth).
+func TestBlockArenaAmortizesAllocation(t *testing.T) {
+	const blocks = 4096
+	allocs := testing.AllocsPerRun(5, func() {
+		var p Proc
+		for i := 0; i < blocks; i++ {
+			p.Block(i * 64).InvalsRecv++
+		}
+	})
+	if allocs > blocks/4 {
+		t.Fatalf("first-touching %d blocks allocates %.0f objects, want < %d", blocks, allocs, blocks/4)
+	}
+}
+
+// TestBlockCacheConsistency exercises the cache's edge cases: block base 0
+// (whose base aliases the cache's zero value), hits after misses on other
+// blocks, and pointer identity with the map.
+func TestBlockCacheConsistency(t *testing.T) {
+	var p Proc
+	b0 := p.Block(0)
+	if p.Block(0) != b0 {
+		t.Fatal("block 0 not cached correctly")
+	}
+	b64 := p.Block(64)
+	if p.Block(0) != b0 || p.Block(64) != b64 {
+		t.Fatal("alternating lookups return wrong shards")
+	}
+	for base, b := range p.Blocks {
+		if p.Block(base) != b {
+			t.Fatalf("Block(%d) disagrees with map entry", base)
+		}
+	}
+}
+
+// TestCloneDoesNotAliasArena writes through the original's cache after
+// cloning and checks the clone is unaffected — the clone must own copies,
+// not pointers into the original's arena.
+func TestCloneDoesNotAliasArena(t *testing.T) {
+	var p Proc
+	p.Block(64).InvalsRecv = 5
+	c := p.Clone()
+	p.Block(64).InvalsRecv = 7
+	if got := c.Blocks[64].InvalsRecv; got != 5 {
+		t.Fatalf("clone sees %d after original mutated, want 5", got)
+	}
+	c.Block(64).InvalsRecv = 9
+	if got := p.Blocks[64].InvalsRecv; got != 7 {
+		t.Fatalf("original sees %d after clone mutated, want 7", got)
+	}
+}
+
+// TestSubInvalidatesBlockCache subtracts a baseline that zeroes a block
+// (dropping its map entry) and checks the next Block call re-creates a
+// fresh entry instead of resurrecting the deleted shard through the cache.
+func TestSubInvalidatesBlockCache(t *testing.T) {
+	var p, base Proc
+	p.Block(64).InvalsRecv = 3 // also primes the cache for base 64
+	base.Block(64).InvalsRecv = 3
+	p.Sub(&base)
+	if _, ok := p.Blocks[64]; ok {
+		t.Fatal("zeroed block survived Sub")
+	}
+	b := p.Block(64)
+	if got, ok := p.Blocks[64]; !ok || got != b {
+		t.Fatal("Block after Sub did not re-create the map entry")
+	}
+	if b.InvalsRecv != 0 {
+		t.Fatalf("re-created shard carries stale count %d", b.InvalsRecv)
+	}
+}

@@ -244,7 +244,24 @@ type Proc struct {
 	// the obsv layer aggregates shards across processors at snapshot time.
 	// Allocated lazily by Block.
 	Blocks map[int]*BlockStat
+
+	// lastBase/lastBlock memoize the most recent Block lookup: protocol
+	// handlers touch the same block's shard several times per transaction,
+	// so the cache turns most lookups into a pointer compare instead of a
+	// map probe. lastBlock nil means no valid cache entry (never key on
+	// lastBase alone: its zero value aliases block 0).
+	lastBase  int
+	lastBlock *BlockStat
+
+	// blockArena chunk-allocates BlockStat values so block-heavy runs do
+	// one heap allocation per blockArenaChunk first-touches instead of one
+	// each (a measurable share of host allocation churn at high processor
+	// counts).
+	blockArena []BlockStat
 }
+
+// blockArenaChunk is the number of BlockStat values one arena chunk holds.
+const blockArenaChunk = 64
 
 // BlockStat accumulates one processor's protocol activity on a single
 // coherence block. Like every other Proc field the counters are append-only:
@@ -301,14 +318,22 @@ func (b *BlockStat) countsZero() bool {
 // Block returns the per-block shard for the block with the given base line,
 // allocating it (and the Blocks map) on first touch.
 func (p *Proc) Block(base int) *BlockStat {
+	if p.lastBlock != nil && p.lastBase == base {
+		return p.lastBlock
+	}
 	b := p.Blocks[base]
 	if b == nil {
 		if p.Blocks == nil {
 			p.Blocks = make(map[int]*BlockStat)
 		}
-		b = &BlockStat{}
+		if len(p.blockArena) == 0 {
+			p.blockArena = make([]BlockStat, blockArenaChunk)
+		}
+		b = &p.blockArena[0]
+		p.blockArena = p.blockArena[1:]
 		p.Blocks[base] = b
 	}
+	p.lastBase, p.lastBlock = base, b
 	return b
 }
 
@@ -317,6 +342,9 @@ func (p *Proc) Block(base int) *BlockStat {
 // live Blocks map and the end-of-run subtraction would then zero itself out.
 func (p *Proc) Clone() Proc {
 	c := *p
+	// The clone gets its own shards; drop the lookup cache and arena so it
+	// never aliases the live processor's storage.
+	c.lastBase, c.lastBlock, c.blockArena = 0, nil, nil
 	if p.Blocks != nil {
 		c.Blocks = make(map[int]*BlockStat, len(p.Blocks))
 		for base, b := range p.Blocks {
@@ -684,6 +712,8 @@ func (p *Proc) Sub(base *Proc) {
 	// evidence and are dropped; entries with masks survive even at zero
 	// counts — a writer whose stores all hit locally still identifies who
 	// writes which offsets, which is exactly the false-sharing evidence.
+	// Dropping entries below may orphan the lookup cache; invalidate it.
+	p.lastBase, p.lastBlock = 0, nil
 	for blk, b := range p.Blocks {
 		if bb, ok := base.Blocks[blk]; ok {
 			for k := range b.Misses {

@@ -20,17 +20,16 @@ import (
 // observedRun executes one application and serializes its observable
 // artifacts: the trace JSONL bytes, the metrics JSON bytes, the parallel
 // cycle count, and the workload checksum.
-func observedRun(t *testing.T, app string, parallel bool) (trace, metrics []byte, cycles int64, sum float64) {
+func observedRun(t *testing.T, app string, cfg shasta.Config) (trace, metrics []byte, cycles int64, sum float64) {
 	t.Helper()
 	f, ok := apps.Registry[app]
 	if !ok {
 		t.Fatalf("unknown application %q", app)
 	}
 	col := &shasta.CollectorTracer{}
-	cfg := shasta.Config{Procs: 8, Clustering: 4, Parallel: parallel}
 	r, err := apps.ExecuteObserved(f(1), cfg, false, col)
 	if err != nil {
-		t.Fatalf("%s (parallel=%v): %v", app, parallel, err)
+		t.Fatalf("%s (parallel=%v): %v", app, cfg.Parallel, err)
 	}
 	var tb bytes.Buffer
 	if err := obsv.WriteHeader(&tb); err != nil {
@@ -54,8 +53,10 @@ func TestParallelSchedulerBitIdentical(t *testing.T) {
 	}
 	for _, app := range apps.Names {
 		t.Run(app, func(t *testing.T) {
-			sTrace, sMetrics, sCycles, sSum := observedRun(t, app, false)
-			pTrace, pMetrics, pCycles, pSum := observedRun(t, app, true)
+			cfg := shasta.Config{Procs: 8, Clustering: 4}
+			sTrace, sMetrics, sCycles, sSum := observedRun(t, app, cfg)
+			cfg.Parallel = true
+			pTrace, pMetrics, pCycles, pSum := observedRun(t, app, cfg)
 			if sCycles != pCycles {
 				t.Errorf("cycles differ: serial %d, parallel %d", sCycles, pCycles)
 			}
@@ -83,6 +84,46 @@ func TestParallelSchedulerBitIdentical(t *testing.T) {
 				t.Errorf("blocks section differs: serial %d bytes total=%d, parallel %d bytes total=%d:\n%s",
 					len(sBlocks.Blocks), sBlocks.BlocksTotal, len(pBlocks.Blocks), pBlocks.BlocksTotal,
 					firstDiffContext(sBlocks.Blocks, pBlocks.Blocks))
+			}
+		})
+	}
+}
+
+// TestParallelSchedulerBitIdenticalAtScale enforces the same contract at 64
+// processors on a hierarchical topology (16 four-processor nodes in 4
+// uplink groups): the serial scheduler, the parallel scheduler with fixed
+// windows, and the parallel scheduler with adaptive windows (the default)
+// must all produce identical trace bytes, metrics bytes, cycles and
+// checksums. This is the scale regime the interconnect hierarchy and the
+// adaptive windows were built for, so both knobs are exercised explicitly.
+func TestParallelSchedulerBitIdenticalAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-processor runs under three schedulers")
+	}
+	base := shasta.Config{Procs: 64, Clustering: 4, NodesPerGroup: 4, HeapBytes: 4 << 20}
+	sTrace, sMetrics, sCycles, sSum := observedRun(t, "LU", base)
+	for _, mode := range []struct {
+		name  string
+		fixed bool
+	}{{"fixed-windows", true}, {"adaptive-windows", false}} {
+		t.Run(mode.name, func(t *testing.T) {
+			cfg := base
+			cfg.Parallel = true
+			cfg.FixedWindows = mode.fixed
+			pTrace, pMetrics, pCycles, pSum := observedRun(t, "LU", cfg)
+			if sCycles != pCycles {
+				t.Errorf("cycles differ: serial %d, parallel %d", sCycles, pCycles)
+			}
+			if sSum != pSum {
+				t.Errorf("checksums differ: serial %v, parallel %v", sSum, pSum)
+			}
+			if !bytes.Equal(sMetrics, pMetrics) {
+				t.Errorf("metrics JSON differs (%d vs %d bytes); first divergence:\n%s",
+					len(sMetrics), len(pMetrics), firstDiffContext(sMetrics, pMetrics))
+			}
+			if !bytes.Equal(sTrace, pTrace) {
+				t.Errorf("trace bytes differ (%d vs %d bytes); first divergence:\n%s",
+					len(sTrace), len(pTrace), firstDiffContext(sTrace, pTrace))
 			}
 		})
 	}

@@ -151,6 +151,13 @@ type Config struct {
 	Procs int
 	// ProcsPerNode is the SMP node size; defaults to 4 (AlphaServer 4100).
 	ProcsPerNode int
+	// NodesPerGroup switches the interconnect to a hierarchical topology:
+	// SMP nodes are clustered in groups of this many under a shared
+	// uplink, and messages between node groups pay extra latency and are
+	// limited to a per-node share of the uplink bandwidth. 0 or 1 keeps
+	// the paper's flat network. Used by the 64-256 processor scale
+	// configurations; see PERFORMANCE.md.
+	NodesPerGroup int
 	// Clustering is the sharing-group size: 1 selects the Base-Shasta
 	// protocol (message passing between all processors, but intra-node
 	// messages still use fast shared-memory queues); 2 or 4 selects
@@ -193,6 +200,14 @@ type Config struct {
 	// statistics, traces, metrics — is bit-identical to the default
 	// serial scheduler's; only host wall-clock time changes.
 	Parallel bool
+	// FixedWindows forces the parallel scheduler's original fixed
+	// lookahead windows, disabling adaptive per-domain window extension.
+	// Results are bit-identical either way; benchmarks use the knob to
+	// measure what the adaptive windows buy.
+	FixedWindows bool
+	// WindowCap bounds adaptive window run-ahead, in cycles beyond a
+	// domain's own virtual time; 0 selects the engine default.
+	WindowCap int64
 }
 
 // Cluster is a configured simulated cluster. Allocate shared data and
@@ -222,6 +237,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	pcfg := protocol.Config{
 		NumProcs:            cfg.Procs,
 		ProcsPerNode:        cfg.ProcsPerNode,
+		NodesPerGroup:       cfg.NodesPerGroup,
 		Clustering:          cfg.Clustering,
 		LineSize:            cfg.LineSize,
 		HeapBytes:           cfg.HeapBytes,
@@ -232,6 +248,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		FastSync:            cfg.FastSync,
 		BroadcastDowngrades: cfg.BroadcastDowngrades,
 		Parallel:            cfg.Parallel,
+		FixedWindows:        cfg.FixedWindows,
+		WindowCap:           cfg.WindowCap,
 	}.WithDefaults()
 	if err := pcfg.Validate(); err != nil {
 		return nil, fmt.Errorf("shasta: %w", err)
