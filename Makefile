@@ -3,7 +3,10 @@
 # SIM_FORCE_PARALLEL=1, which reruns the sim suite on the window-based
 # parallel scheduler with per-processor conflict domains (the most
 # aggressive windowing). The full suite (go test ./...) adds the
-# application/harness integration tests, which take ~1 min.
+# application/harness integration tests, which take ~1 min. The analysis
+# line covers the stats shards, the observability layer (including the
+# request-span reconstruction and its fuzzed degradation tests) and the
+# shastatrace CLI goldens.
 .PHONY: check test bench bench-compare gobench
 
 check:

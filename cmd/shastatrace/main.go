@@ -10,6 +10,8 @@
 //	shastatrace breakdown <metrics.json | trace.jsonl>...
 //	shastatrace hist <metrics.json | trace.jsonl>...
 //	shastatrace critpath <trace.jsonl>...
+//	shastatrace spans [-top K] <trace.jsonl>...
+//	shastatrace phases [-w N] <trace.jsonl>...
 //	shastatrace export-chrome <trace.jsonl>...
 //	shastatrace check <trace.jsonl>...
 //	shastatrace races <trace.jsonl>...
@@ -52,7 +54,13 @@ trace analysis (one or more trace.jsonl segments, concatenated in order):
   timeline <block> <trace.jsonl>...  one block's protocol history, in order
   diff <a.jsonl> <b.jsonl>        compare two trace summaries
   critpath <trace.jsonl>...       longest causal chain through the run
-  export-chrome <trace.jsonl>...  chrome://tracing JSON of the trace
+  spans [-top K] <trace.jsonl>... per-request stage waterfalls: tail percentiles
+                                  by kind/hops/route/home/block, per-stage cycle
+                                  shares, tail composition, K slowest requests
+  phases [-w N] <trace.jsonl>...  windowed time-series of span stage totals
+                                  over virtual time (N windows)
+  export-chrome <trace.jsonl>...  chrome://tracing JSON of the trace, spans as
+                                  async stage slices
   check <trace.jsonl>...          replay the trace through the invariant checker
   races <trace.jsonl>...          happens-before data-race detection over the
                                   trace's accesses and synchronization edges
@@ -378,6 +386,45 @@ func cmdCritPath(args []string, stdout io.Writer) (int, error) {
 	return 0, nil
 }
 
+// cmdSpans renders the request-span report: reconstruction accounting, tail
+// percentiles by group, the per-stage breakdown and the slowest requests.
+func cmdSpans(args []string, stdout, stderr io.Writer) (int, error) {
+	fs := flag.NewFlagSet("spans", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	top := fs.Int("top", 5, "number of slowest requests to show with waterfalls (0 = none)")
+	if err := fs.Parse(args); err != nil {
+		return 2, usageError{err.Error()}
+	}
+	if fs.NArg() == 0 {
+		return 2, usageError{"spans needs at least one trace file"}
+	}
+	events, err := readTraces(fs.Args())
+	if err != nil {
+		return 2, err
+	}
+	fmt.Fprint(stdout, obsv.FormatSpans(obsv.BuildSpans(events), *top))
+	return 0, nil
+}
+
+// cmdPhases renders the windowed time-series of span stage totals.
+func cmdPhases(args []string, stdout, stderr io.Writer) (int, error) {
+	fs := flag.NewFlagSet("phases", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	w := fs.Int("w", 8, "number of equal virtual-time windows")
+	if err := fs.Parse(args); err != nil {
+		return 2, usageError{err.Error()}
+	}
+	if fs.NArg() == 0 {
+		return 2, usageError{"phases needs at least one trace file"}
+	}
+	events, err := readTraces(fs.Args())
+	if err != nil {
+		return 2, err
+	}
+	fmt.Fprint(stdout, obsv.FormatPhases(obsv.BuildSpans(events), *w))
+	return 0, nil
+}
+
 func cmdExportChrome(args []string, stdout io.Writer) (int, error) {
 	if len(args) == 0 {
 		return 2, usageError{"export-chrome needs at least one trace file"}
@@ -516,6 +563,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		code, err = cmdHist(rest, stdout)
 	case "critpath":
 		code, err = cmdCritPath(rest, stdout)
+	case "spans":
+		code, err = cmdSpans(rest, stdout, stderr)
+	case "phases":
+		code, err = cmdPhases(rest, stdout, stderr)
 	case "export-chrome":
 		code, err = cmdExportChrome(rest, stdout)
 	case "check":

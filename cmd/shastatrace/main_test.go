@@ -182,6 +182,9 @@ func TestGolden(t *testing.T) {
 		{"hist-trace", []string{"hist", "testdata/small.jsonl"}, 0},
 		{"critpath", []string{"critpath", "testdata/small.jsonl"}, 0},
 		{"critpath-gapped", []string{"critpath", "testdata/filtered.jsonl"}, 0},
+		{"spans", []string{"spans", "-top", "3", "testdata/small.jsonl"}, 0},
+		{"spans-gapped", []string{"spans", "-top", "0", "testdata/filtered.jsonl"}, 0},
+		{"phases", []string{"phases", "-w", "4", "testdata/small.jsonl"}, 0},
 		{"check-clean", []string{"check", "testdata/small.jsonl"}, 0},
 		{"check-corrupt", []string{"check", "testdata/corrupt.jsonl"}, 1},
 		{"check-gapped", []string{"check", "testdata/filtered.jsonl"}, 0},
@@ -271,6 +274,9 @@ func TestExitCodes(t *testing.T) {
 		{"races-no-files", []string{"races"}, 2},
 		{"races-on-metrics", []string{"races", "testdata/bench.json"}, 2},
 		{"races-gapped", []string{"races", "testdata/filtered.jsonl"}, 2},
+		{"spans-no-file", []string{"spans"}, 2},
+		{"spans-on-metrics", []string{"spans", "testdata/bench.json"}, 2},
+		{"phases-bad-flag", []string{"phases", "-w", "x", "testdata/small.jsonl"}, 2},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -293,7 +299,7 @@ func TestUsageDocumentsExitCodes(t *testing.T) {
 	for _, want := range []string{
 		"exit status", "summarize", "filter", "timeline", "diff", "check",
 		"critpath", "export-chrome", "breakdown", "hist",
-		"blocks", "falseshare", "advise", "races",
+		"blocks", "falseshare", "advise", "races", "spans", "phases",
 		"0  success", "1  analysis found", "2  usage",
 	} {
 		if !strings.Contains(stderr.String(), want) {

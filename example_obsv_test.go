@@ -38,9 +38,11 @@ func ExampleWriterTracer() {
 	// Output:
 	// p4 miss -
 	// p4 send ReadReq
+	// p4 xmit ReadReq
 	// p0 handle ReadReq
 	// p0 downgrade -
 	// p0 send DataReply
+	// p0 xmit DataReply
 	// p4 handle DataReply
 	// p4 install -
 	// p4 privup -
@@ -59,7 +61,7 @@ func ExampleCollectorTracer() {
 	fmt.Println("misses:", counts["miss"])
 	fmt.Println("installs:", counts["install"])
 	// Output:
-	// events: 122
+	// events: 124
 	// misses: 1
 	// installs: 1
 }

@@ -87,6 +87,7 @@ var Experiments = []Experiment{
 	{"sharing", "Sharing-pattern observatory: block classification and placement advice vs measured line-size delta", Sharing},
 	{"races", "Race-detector injection: clean and mis-synchronized runs, detector verdict vs ground truth", Races},
 	{"scale", "16-256 processor sweep: hierarchical topologies, scheduler wall-clock, bit-identity at scale", Scale},
+	{"tail", "Tail-latency observatory: flat vs hierarchical topology, span-derived p99 and stage attribution", Tail},
 }
 
 // ByID returns the experiment with the given ID.

@@ -170,14 +170,22 @@ func CompareBenchSnapshots(old, new *BenchSnapshot, tol float64) BenchComparison
 		}
 		ratio := (float64(sc.WallNs) / float64(new.CalibrationNs)) /
 			(float64(osc.WallNs) / float64(old.CalibrationNs))
+		// Failing verdicts name the diverging metric and its delta, so a
+		// gate failure is actionable without re-running the benchmark.
 		verdict := "ok"
-		if osc.Cycles != sc.Cycles || osc.Checksum != sc.Checksum {
-			verdict = "DIVERGED (virtual result changed)"
+		switch {
+		case osc.Cycles != sc.Cycles:
+			delta := 100 * (float64(sc.Cycles) - float64(osc.Cycles)) / float64(osc.Cycles)
+			verdict = fmt.Sprintf("DIVERGED (cycles %d -> %d, %+.2f%%)", osc.Cycles, sc.Cycles, delta)
 			cmp.Diverged = append(cmp.Diverged, sc.Name)
-		} else if ratio > 1+tol {
-			verdict = fmt.Sprintf("REGRESSED (> +%.0f%%)", tol*100)
+		case osc.Checksum != sc.Checksum:
+			verdict = fmt.Sprintf("DIVERGED (checksum %g -> %g)", osc.Checksum, sc.Checksum)
+			cmp.Diverged = append(cmp.Diverged, sc.Name)
+		case ratio > 1+tol:
+			verdict = fmt.Sprintf("REGRESSED (normalized wall %+.1f%%, tolerance +%.0f%%)",
+				(ratio-1)*100, tol*100)
 			cmp.Regressed = append(cmp.Regressed, sc.Name)
-		} else if ratio < 1-tol {
+		case ratio < 1-tol:
 			verdict = "improved"
 		}
 		fmt.Fprintf(&b, "%-28s %12s %12s %7.2fx  %s\n",

@@ -266,25 +266,66 @@ func transferCycles(bytes int, bytesPerKCycle int64) int64 {
 	return (int64(bytes)*1000 + bytesPerKCycle - 1) / bytesPerKCycle
 }
 
+// SendInfo decomposes one message's delivery time. The components telescope
+// exactly: Arrival = send time + Queue + Transfer + Wire. The span layer
+// (internal/obsv) records these components in the trace so per-request
+// latency can be attributed to link queueing vs transit vs handler waits.
+type SendInfo struct {
+	// Arrival is the absolute cycle the message reaches the destination's
+	// inbox.
+	Arrival int64
+	// Queue is the time spent waiting behind earlier messages for a free
+	// lane of the sender node's link (always 0 for intra-node messages).
+	Queue int64
+	// Transfer is the serialization time of the message's bytes.
+	Transfer int64
+	// Wire is the first-byte latency, including the uplink crossing when
+	// the message leaves its node group.
+	Wire int64
+	// Local marks an intra-node shared-memory queue message.
+	Local bool
+	// Uplink marks a message that crossed a node-group boundary.
+	Uplink bool
+}
+
+// Via names the physical route for trace details: "local" (shared-memory
+// queue), "remote" (Memory Channel) or "uplink" (Memory Channel plus a
+// group-boundary crossing).
+func (i SendInfo) Via() string {
+	switch {
+	case i.Local:
+		return "local"
+	case i.Uplink:
+		return "uplink"
+	default:
+		return "remote"
+	}
+}
+
 // Send transmits payload of the given size from processor p to dst,
 // computing arrival time from the topology: intra-node messages use the
 // shared-memory queues; inter-node messages use (and occupy) a lane of the
 // sender node's Memory Channel link; cross-group messages additionally pay
-// the uplink latency and are throttled to the node's uplink share.
-func (n *Network) Send(p *sim.Proc, dst int, payloadBytes int, payload any) {
+// the uplink latency and are throttled to the node's uplink share. The
+// returned SendInfo reports how the delivery time decomposes.
+func (n *Network) Send(p *sim.Proc, dst int, payloadBytes int, payload any) SendInfo {
 	size := payloadBytes + n.par.HeaderBytes
 	if n.topo.SameNode(p.ID, dst) {
 		n.localSends[n.topo.NodeOf(p.ID)]++
-		lat := n.par.LocalWire + transferCycles(size, n.par.LocalBytesPerKCycle)
+		transfer := transferCycles(size, n.par.LocalBytesPerKCycle)
+		lat := n.par.LocalWire + transfer
 		p.Send(dst, lat, payload)
-		return
+		return SendInfo{Arrival: p.Now() + lat, Transfer: transfer,
+			Wire: n.par.LocalWire, Local: true}
 	}
 	node := n.topo.NodeOf(p.ID)
 	n.remoteSends[node]++
 	n.remoteBytes[node] += int64(size)
 	wire := n.par.RemoteWire
 	rate := n.par.RemoteBytesPerKCycle
+	uplink := false
 	if !n.topo.SameNodeGroup(p.ID, dst) {
+		uplink = true
 		wire += n.par.UplinkWire
 		if n.uplinkShare > 0 && n.uplinkShare < rate {
 			rate = n.uplinkShare
@@ -292,7 +333,8 @@ func (n *Network) Send(p *sim.Proc, dst int, payloadBytes int, payload any) {
 	}
 	transfer := transferCycles(size, rate)
 	lane := node*n.lanes + n.topo.NodeOf(dst)%n.lanes
-	start := p.Now()
+	now := p.Now()
+	start := now
 	if n.linkFree[lane] > start {
 		wait := n.linkFree[lane] - start
 		n.linkWait[node] += wait
@@ -304,6 +346,8 @@ func (n *Network) Send(p *sim.Proc, dst int, payloadBytes int, payload any) {
 	n.linkBusy[node] += transfer
 	n.linkFree[lane] = start + transfer
 	p.SendAt(dst, start+transfer+wire, payload)
+	return SendInfo{Arrival: start + transfer + wire, Queue: start - now,
+		Transfer: transfer, Wire: wire, Uplink: uplink}
 }
 
 // sum adds up a per-node counter shard.

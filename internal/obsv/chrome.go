@@ -14,6 +14,7 @@ import (
 // cycles per microsecond.
 type chromeEvent struct {
 	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
 	Ph   string         `json:"ph"`
 	Ts   float64        `json:"ts"`
 	Pid  int            `json:"pid"`
@@ -28,8 +29,11 @@ const chromeCyclesPerMicro = 300.0
 
 // ExportChrome writes a trace as Chrome trace-event JSON: one track (tid)
 // per processor within a single process, an instant event per trace event,
-// and a flow arrow for every send->handle message edge so Perfetto draws the
-// protocol's causality across tracks. Deterministic for identical traces.
+// a flow arrow for every send->handle message edge so Perfetto draws the
+// protocol's causality across tracks, and an async event pair per
+// reconstructed request span — nested stage slices on the requester's
+// track — so the tail of a run can be inspected stage by stage.
+// Deterministic for identical traces.
 func ExportChrome(events []protocol.TraceEvent, w io.Writer) error {
 	c := BuildCausal(events)
 	procs := map[int]bool{}
@@ -74,6 +78,39 @@ func ExportChrome(events []protocol.TraceEvent, w io.Writer) error {
 				Name: "msg " + e.Msg, Ph: "f", BP: "e", Ts: ts, Pid: 0, Tid: e.Proc, ID: s + 1,
 			})
 		}
+	}
+	// Request spans: async ("b"/"e") events on the requester's track, one
+	// outer slice per span and one nested slice per stage. Async ids are
+	// the span's anchor seq, unique within a trace.
+	ss := BuildSpans(events)
+	for i := range ss.Spans {
+		s := &ss.Spans[i]
+		id := int(s.Seq)
+		name := fmt.Sprintf("%s blk%d", s.Kind, s.Block)
+		args := map[string]any{
+			"home": s.Home, "owner": s.Owner, "hops": s.Hops,
+			"route": s.route(), "cycles": s.Total(),
+		}
+		out = append(out, chromeEvent{
+			Name: name, Cat: "span", Ph: "b", Ts: float64(s.Start) / chromeCyclesPerMicro,
+			Pid: 0, Tid: s.Requester, ID: id, Args: args,
+		})
+		t := s.Start
+		for _, st := range s.Stages {
+			out = append(out, chromeEvent{
+				Name: st.Name, Cat: "span", Ph: "b", Ts: float64(t) / chromeCyclesPerMicro,
+				Pid: 0, Tid: s.Requester, ID: id,
+			})
+			t += st.Cycles
+			out = append(out, chromeEvent{
+				Name: st.Name, Cat: "span", Ph: "e", Ts: float64(t) / chromeCyclesPerMicro,
+				Pid: 0, Tid: s.Requester, ID: id,
+			})
+		}
+		out = append(out, chromeEvent{
+			Name: name, Cat: "span", Ph: "e", Ts: float64(s.End) / chromeCyclesPerMicro,
+			Pid: 0, Tid: s.Requester, ID: id,
+		})
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)

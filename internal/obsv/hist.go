@@ -33,9 +33,45 @@ func bucketLabel(b int) string {
 	return fmt.Sprintf("%d-%d", lo, hi-1)
 }
 
+// estPercentile estimates the q-th percentile (0 < q <= 1) of a bucketed
+// histogram by linear interpolation within the bucket the rank lands in.
+// The power-of-two buckets make this coarse — at worst off by half the
+// bucket width — but it turns existing histograms into tail summaries
+// without re-running; the span layer (BuildSpans) computes exact
+// percentiles when a trace is available. The top (open) bucket has no upper
+// edge, so ranks landing there estimate as its lower edge. ok is false for
+// an empty histogram.
+func estPercentile(h Histogram, q float64) (int64, bool) {
+	if h.Count <= 0 {
+		return 0, false
+	}
+	rank := int64(float64(h.Count)*q + 0.999999) // nearest-rank, 1-based
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for bi, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			lo, hi := stats.BucketRange(bi)
+			if hi < 0 {
+				return lo, true
+			}
+			// Interpolate the rank's position within the bucket.
+			frac := (float64(rank-cum) - 0.5) / float64(n)
+			return lo + int64(frac*float64(hi-lo)), true
+		}
+		cum += n
+	}
+	return 0, false
+}
+
 // FormatHistograms renders a histogram map deterministically: keys sorted,
-// one line per non-empty bucket with its cycle range, count and a proportional
-// bar. Identical runs format byte-identically.
+// one line per non-empty bucket with its cycle range, count and a
+// proportional bar, and a trailing line with estimated (bucket-interpolated)
+// p50/p99. Identical runs format byte-identically.
 func FormatHistograms(hists map[string]Histogram) string {
 	var b strings.Builder
 	for _, key := range stats.SortedKeys(hists) {
@@ -56,6 +92,11 @@ func FormatHistograms(hists map[string]Histogram) string {
 				bar = strings.Repeat("#", int(1+n*39/peak))
 			}
 			fmt.Fprintf(&b, "  %16s  %8d  %s\n", bucketLabel(bi), n, bar)
+		}
+		p50, ok50 := estPercentile(h, 0.50)
+		p99, ok99 := estPercentile(h, 0.99)
+		if ok50 && ok99 {
+			fmt.Fprintf(&b, "  est p50 ~%d cycles, p99 ~%d cycles (bucket interpolation)\n", p50, p99)
 		}
 	}
 	return b.String()

@@ -1,0 +1,1072 @@
+package obsv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/protocol"
+)
+
+// This file reconstructs per-request spans from a trace: one span per
+// remote miss (or upgrade), broken into the virtual-time stages the request
+// passed through — issue, link queueing, wire transit, inbox wait, directory
+// service, forward, owner service, reply transit, install. The evidence is
+// the ordinary send/handle/miss/install events plus the xmit extension
+// (trace schema v1; see OBSERVABILITY.md §10), which carries the
+// interconnect's exact queue/wire/serialization split for every
+// miss-protocol message. On traces without xmit events (older runs, or
+// filtered ones) the transit stages collapse into coarser "-flight" stages;
+// the stage partition always telescopes, so a complete span's stages sum
+// exactly to its end-to-end latency.
+
+// SpanStage is one stage of a span with its virtual-time duration. Stage
+// names form a fixed vocabulary (see stageFamily); a given span carries only
+// the stages its evidence supports, in lifecycle order.
+type SpanStage struct {
+	Name   string
+	Cycles int64
+}
+
+// Span is one reconstructed request lifecycle.
+type Span struct {
+	// Requester, Home and Owner are processor ids; Owner is -1 for
+	// two-hop requests served by the home.
+	Requester, Home, Owner int
+	// Block is the block's base line.
+	Block int
+	// Kind is the request class: "read", "write" or "upgrade".
+	Kind string
+	// Hops is 2 when the reply came from the home, 3 via a third
+	// processor (the paper's Figure 6 classification).
+	Hops int
+	// Uplink reports that at least one leg crossed a hierarchical uplink.
+	Uplink bool
+	// Retries counts protocol retry rounds: a reply superseded by a
+	// concurrent invalidation makes the requester re-issue the request,
+	// and the span covers every round up to the final install.
+	Retries int
+	// Start and End are the span's first and last virtual-time points:
+	// the miss event (or the request send, when the miss was merged into
+	// an earlier entry) and the install event.
+	Start, End int64
+	// Seq is the trace sequence number of the anchoring event, a stable
+	// span identity within one trace.
+	Seq uint64
+	// Stages partitions [Start, End]: durations sum exactly to End-Start.
+	Stages []SpanStage
+}
+
+// Total returns the span's end-to-end latency in cycles.
+func (s *Span) Total() int64 { return s.End - s.Start }
+
+// SpanSet is the result of reconstructing every span of a trace.
+type SpanSet struct {
+	// Spans lists complete spans in completion (install seq) order.
+	Spans []Span
+	// Dropped counts incomplete reconstructions by reason; such requests
+	// are reported, never silently omitted or mis-attributed.
+	Dropped map[string]int
+	// Gapped reports seq gaps in the trace (filtered or sampled), the
+	// usual cause of dropped spans.
+	Gapped bool
+	// UnissuedMisses counts miss events with no visible request; they are
+	// informational (e.g. batched blocks already in flight), not drops.
+	UnissuedMisses int
+	// Warnings lists non-fatal reconstruction anomalies.
+	Warnings []string
+}
+
+// DroppedTotal sums the drop counts.
+func (ss *SpanSet) DroppedTotal() int {
+	n := 0
+	for _, c := range ss.Dropped {
+		n += c
+	}
+	return n
+}
+
+// xmitInfo is the parsed payload of an xmit event.
+type xmitInfo struct {
+	dst, req                  int
+	arrive, queue, wire, xfer int64
+	via                       string
+}
+
+// parseXmit extracts an xmit event's fields; ok is false on malformed detail.
+func parseXmit(detail string) (xmitInfo, bool) {
+	var x xmitInfo
+	n, err := fmt.Sscanf(detail, "to p%d R%d arrive=%d queue=%d wire=%d xfer=%d via=%s",
+		&x.dst, &x.req, &x.arrive, &x.queue, &x.wire, &x.xfer, &x.via)
+	return x, n == 7 && err == nil
+}
+
+// parseHandleReq extracts the requester from a handle event's detail
+// ("from R<req> ..."); ok is false when absent.
+func parseHandleReq(detail string) (int, bool) {
+	var r int
+	if n, err := fmt.Sscanf(detail, "from R%d", &r); n == 1 && err == nil {
+		return r, true
+	}
+	return 0, false
+}
+
+// legRole classifies a message leg within a span.
+type legRole int
+
+const (
+	legReq legRole = iota
+	legFwd
+	legReply
+)
+
+// spanLegKind maps a message kind to its leg role; ok is false for kinds
+// that are not part of a miss lifecycle.
+func spanLegKind(msg string) (legRole, bool) {
+	switch msg {
+	case "ReadReq", "ReadExclReq", "UpgradeReq":
+		return legReq, true
+	case "ReadFwd", "ReadExclFwd":
+		return legFwd, true
+	case "DataReply", "DataExclReply", "UpgradeAck":
+		return legReply, true
+	}
+	return 0, false
+}
+
+// reqKindName maps a request message kind to the span's request class.
+func reqKindName(msg string) string {
+	switch msg {
+	case "ReadReq":
+		return "read"
+	case "ReadExclReq":
+		return "write"
+	case "UpgradeReq":
+		return "upgrade"
+	}
+	return "unknown"
+}
+
+// spanLeg is one in-flight message of a span, created at its send (or xmit)
+// event and resolved at the matching handle.
+type spanLeg struct {
+	role     legRole
+	sendTime int64
+	sendProc int
+	req      int // requester, -1 until known
+	hasXmit  bool
+	x        xmitInfo
+	b        *spanBuilder // owning span, nil until known (xmit-less forwards)
+}
+
+// spanBuilder accumulates one request's checkpoints during the trace walk.
+type spanBuilder struct {
+	req, blk    int
+	kind        string
+	seq         uint64 // anchor event seq
+	start       int64
+	hasMiss     bool
+	home, owner int
+
+	reqLeg, fwdLeg, replyLeg *spanLeg
+
+	homeHandle, homeRequeue   int64 // 0 = unset (virtual time > 0 for all protocol events)
+	ownerHandle, ownerRequeue int64
+	replyHandle               int64
+
+	// prefix holds the stages of completed retry rounds; prefixEnd is the
+	// virtual time they cover up to (0 when there are none).
+	prefix    []SpanStage
+	prefixEnd int64
+	retries   int
+	uplink    bool
+}
+
+// rbKey identifies a span: at most one request per (requester, block) is
+// active at a time (stores merge into pending read entries; the follow-up
+// upgrade is only issued after the read installs).
+type rbKey struct{ req, blk int }
+
+// pbKey identifies a processor/block pair for miss anchoring.
+type pbKey struct{ proc, blk int }
+
+// BuildSpans reconstructs the request spans of a trace. The events must be
+// in trace (seq) order. The walk mirrors BuildCausal's FIFO send/handle
+// matching, extended with the xmit timing decomposition and the protocol's
+// request lifecycle; it never fails — requests whose evidence is incomplete
+// or inconsistent (gapped traces) are counted in Dropped with a reason.
+func BuildSpans(events []protocol.TraceEvent) *SpanSet {
+	ss := &SpanSet{Dropped: map[string]int{}}
+	var lastSeq uint64
+	active := map[rbKey]*spanBuilder{}
+	pendingMiss := map[pbKey][]protocol.TraceEvent{}
+	fifo := map[sendKey][]*spanLeg{}
+	lastLeg := map[int]*spanLeg{} // per-proc send awaiting its xmit
+	unparsed := 0
+
+	drop := func(reason string) { ss.Dropped[reason]++ }
+
+	// finish closes a span at an install event, partitions its stages and
+	// appends it (or drops it with a reason).
+	finish := func(b *spanBuilder, install protocol.TraceEvent) {
+		sp, reason := b.finalize(install)
+		if reason != "" {
+			drop(reason)
+			return
+		}
+		ss.Spans = append(ss.Spans, sp)
+	}
+
+	for i, e := range events {
+		if i > 0 && e.Seq != lastSeq+1 {
+			ss.Gapped = true
+		}
+		lastSeq = e.Seq
+
+		role, isLeg := spanLegKind(e.Msg)
+
+		switch e.Op {
+		case "miss":
+			k := pbKey{e.Proc, e.BaseLine}
+			pendingMiss[k] = append(pendingMiss[k], e)
+
+		case "send":
+			if !isLeg {
+				continue
+			}
+			dst, ok := parseSendDst(e.Detail)
+			if !ok {
+				unparsed++
+				continue
+			}
+			leg := &spanLeg{role: role, sendTime: e.Time, sendProc: e.Proc, req: -1}
+			switch role {
+			case legReq:
+				leg.req = e.Proc // requests are sent by their requester
+			case legReply:
+				leg.req = dst // replies travel to their requester
+			}
+			attachLeg(leg, e, active, pendingMiss, ss)
+			fifo[sendKey{e.Msg, e.BaseLine, dst}] = append(fifo[sendKey{e.Msg, e.BaseLine, dst}], leg)
+			lastLeg[e.Proc] = leg
+
+		case "xmit":
+			x, ok := parseXmit(e.Detail)
+			if !ok {
+				unparsed++
+				continue
+			}
+			if leg := lastLeg[e.Proc]; leg != nil && !leg.hasXmit && leg.sendTime == e.Time {
+				// The usual case: the xmit annotates the send just
+				// emitted by this processor.
+				leg.hasXmit, leg.x = true, x
+				if leg.req < 0 {
+					leg.req = x.req
+					attachLegX(leg, e, active, ss)
+				}
+				delete(lastLeg, e.Proc)
+				continue
+			}
+			// The send was sampled out: reconstruct the leg from the
+			// xmit alone (it carries destination, requester and timing).
+			if !isLeg {
+				continue
+			}
+			leg := &spanLeg{role: role, sendTime: e.Time, sendProc: e.Proc,
+				req: x.req, hasXmit: true, x: x}
+			attachLegX(leg, e, active, ss)
+			fifo[sendKey{e.Msg, e.BaseLine, x.dst}] = append(fifo[sendKey{e.Msg, e.BaseLine, x.dst}], leg)
+
+		case "handle":
+			if !isLeg {
+				continue
+			}
+			// Match the handled message to its sent leg. Legs of one
+			// (kind, block, destination) key are not a true FIFO: hot
+			// blocks draw concurrent requests from many requesters whose
+			// messages the interconnect may deliver out of order, and a
+			// requeued request re-dispatches with no send event at all —
+			// so the match is by the requester the handle names, falling
+			// back to positional order only when the trace lacks it.
+			k := sendKey{e.Msg, e.BaseLine, e.Proc}
+			q := fifo[k]
+			r, hasR := parseHandleReq(e.Detail)
+			if role == legReply {
+				// Replies do not carry a requester field; their
+				// destination — this processor — is the requester.
+				r, hasR = e.Proc, true
+			}
+			pick := -1
+			if hasR {
+				for li, leg := range q {
+					if leg.req == r {
+						pick = li
+						break
+					}
+				}
+			}
+			if pick < 0 {
+				for li, leg := range q {
+					if leg.req < 0 {
+						pick = li
+						break
+					}
+				}
+			}
+			if pick < 0 && !hasR && len(q) > 0 {
+				pick = 0
+			}
+			if pick >= 0 {
+				leg := q[pick]
+				if len(q) == 1 {
+					delete(fifo, k)
+				} else {
+					fifo[k] = append(q[:pick:pick], q[pick+1:]...)
+				}
+				resolveLeg(leg, role, e, active, ss)
+				continue
+			}
+			// No visible send for this message: a requeued request or
+			// forward re-dispatching after its block unblocked, the
+			// direct path (home within the requester's group injects the
+			// request without a send event), or a sampled-out send.
+			if !hasR {
+				unparsed++
+				continue
+			}
+			b := active[rbKey{r, e.BaseLine}]
+			switch {
+			case role == legReq && b != nil && b.homeHandle != 0:
+				if b.replyHandle != 0 && b.foldRetry(e.Time) {
+					// A handled reply followed by a fresh request handle
+					// with no send in between is the direct path's retry:
+					// fold the superseded round and start the next one
+					// at this dispatch.
+					popMiss(pendingMiss, pbKey{r, e.BaseLine})
+					b.homeHandle, b.home = e.Time, e.Proc
+				} else if b.ownerHandle != 0 {
+					b.ownerRequeue = e.Time
+				} else {
+					b.homeRequeue = e.Time
+				}
+			case role == legReq:
+				// Direct path: open a span anchored at the miss (or here).
+				b = &spanBuilder{req: r, blk: e.BaseLine, kind: reqKindName(e.Msg),
+					seq: e.Seq, start: e.Time, home: e.Proc, owner: -1, homeHandle: e.Time}
+				if mq := pendingMiss[pbKey{r, e.BaseLine}]; len(mq) > 0 {
+					b.hasMiss, b.start, b.seq = true, mq[0].Time, mq[0].Seq
+					popMiss(pendingMiss, pbKey{r, e.BaseLine})
+				}
+				replaceActive(active, b, ss, drop)
+			case role == legFwd && b != nil:
+				if b.ownerHandle == 0 {
+					b.ownerHandle, b.owner = e.Time, e.Proc
+				} else {
+					b.ownerRequeue = e.Time
+				}
+			case role == legReply && b != nil:
+				if b.replyLeg == nil && b.replyHandle == 0 {
+					b.replyHandle = e.Time
+				}
+			default:
+				if !ss.Gapped {
+					ss.Warnings = append(ss.Warnings,
+						fmt.Sprintf("handle without visible send or span: seq=%d %s blk%d at p%d",
+							e.Seq, e.Msg, e.BaseLine, e.Proc))
+				}
+			}
+
+		case "install":
+			b := active[rbKey{e.Proc, e.BaseLine}]
+			if b == nil {
+				continue
+			}
+			delete(active, rbKey{e.Proc, e.BaseLine})
+			finish(b, e)
+		}
+	}
+
+	for _, q := range pendingMiss {
+		ss.UnissuedMisses += len(q)
+	}
+	for range active {
+		drop("incomplete")
+	}
+	if unparsed > 0 {
+		ss.Warnings = append(ss.Warnings,
+			fmt.Sprintf("%d events with unparseable span details", unparsed))
+	}
+	if ss.Gapped {
+		ss.Warnings = append(ss.Warnings,
+			"trace has seq gaps (filtered or sampled); spans limited to surviving evidence")
+	}
+	return ss
+}
+
+// popMiss removes the head of a pending-miss queue, if any.
+func popMiss(pendingMiss map[pbKey][]protocol.TraceEvent, k pbKey) {
+	switch q := pendingMiss[k]; len(q) {
+	case 0:
+	case 1:
+		delete(pendingMiss, k)
+	default:
+		pendingMiss[k] = q[1:]
+	}
+}
+
+// replaceActive registers a new span builder, dropping any span still active
+// for the same (requester, block) — evidence of a gapped trace where the
+// earlier request's install was sampled out.
+func replaceActive(active map[rbKey]*spanBuilder, b *spanBuilder, ss *SpanSet, drop func(string)) {
+	k := rbKey{b.req, b.blk}
+	if active[k] != nil {
+		drop("superseded")
+	}
+	active[k] = b
+}
+
+// attachLeg connects a freshly sent leg to its span: request legs open a new
+// span (anchored at the requester's miss event when visible), reply legs
+// attach to the active span of their destination requester. Forward legs
+// without an xmit stay unattached until their handle names the requester.
+func attachLeg(leg *spanLeg, e protocol.TraceEvent, active map[rbKey]*spanBuilder,
+	pendingMiss map[pbKey][]protocol.TraceEvent, ss *SpanSet) {
+	switch leg.role {
+	case legReq:
+		if old := active[rbKey{leg.req, e.BaseLine}]; old != nil &&
+			(!ss.Gapped || old.replyHandle != 0) && old.foldRetry(e.Time) {
+			// A retry round: the active request's reply was superseded by
+			// a concurrent invalidation (its install never came), and the
+			// requester re-issued — a fresh miss event and this new send.
+			// The logical request is one span covering every round, so
+			// fold rather than replace; the retry's own miss event is
+			// consumed (the span keeps its original anchor). On gapped
+			// traces folding requires the old round's handled reply as
+			// evidence, else a sampled-out install would silently merge
+			// two independent requests.
+			popMiss(pendingMiss, pbKey{leg.req, e.BaseLine})
+			old.reqLeg = leg
+			leg.b = old
+			return
+		}
+		b := &spanBuilder{req: leg.req, blk: e.BaseLine, kind: reqKindName(e.Msg),
+			seq: e.Seq, start: e.Time, owner: -1, reqLeg: leg}
+		if mq := pendingMiss[pbKey{leg.req, e.BaseLine}]; len(mq) > 0 {
+			b.hasMiss, b.start, b.seq = true, mq[0].Time, mq[0].Seq
+			popMiss(pendingMiss, pbKey{leg.req, e.BaseLine})
+		}
+		replaceActive(active, b, ss, func(r string) { ss.Dropped[r]++ })
+		leg.b = b
+	case legReply:
+		if b := active[rbKey{leg.req, e.BaseLine}]; b != nil {
+			// Keep the latest reply: a superseded reply (stale directory
+			// sequence) never installs and is overtaken by a newer one.
+			b.replyLeg = leg
+			leg.b = b
+		}
+	}
+}
+
+// attachLegX attaches a leg whose requester only became known from its xmit
+// event (forwards, whose send detail does not carry the requester).
+func attachLegX(leg *spanLeg, e protocol.TraceEvent, active map[rbKey]*spanBuilder, ss *SpanSet) {
+	if leg.b != nil || leg.req < 0 {
+		return
+	}
+	b := active[rbKey{leg.req, e.BaseLine}]
+	if b == nil {
+		return
+	}
+	leg.b = b
+	if leg.role == legFwd {
+		b.fwdLeg = leg
+	} else if leg.role == legReply && b.replyLeg == nil {
+		b.replyLeg = leg
+	}
+}
+
+// resolveLeg applies a handled leg's checkpoint to its span. Legs that never
+// found a span (gapped traces) resolve it here from the handle's requester.
+func resolveLeg(leg *spanLeg, role legRole, e protocol.TraceEvent,
+	active map[rbKey]*spanBuilder, ss *SpanSet) {
+	if leg.b == nil {
+		r := leg.req
+		if r < 0 {
+			if hr, ok := parseHandleReq(e.Detail); ok {
+				r = hr
+			}
+		}
+		if r >= 0 {
+			if b := active[rbKey{r, e.BaseLine}]; b != nil {
+				leg.req, leg.b = r, b
+				if role == legFwd {
+					b.fwdLeg = leg
+				} else if role == legReply && b.replyLeg == nil {
+					b.replyLeg = leg
+				}
+			}
+		}
+		if leg.b == nil {
+			return
+		}
+	}
+	b := leg.b
+	switch role {
+	case legReq:
+		if b.homeHandle == 0 {
+			b.homeHandle = e.Time
+			b.home = e.Proc
+		} else if b.ownerHandle != 0 {
+			b.ownerRequeue = e.Time
+		} else {
+			b.homeRequeue = e.Time
+		}
+	case legFwd:
+		if b.ownerHandle == 0 {
+			b.ownerHandle = e.Time
+			b.owner = e.Proc
+		} else {
+			b.ownerRequeue = e.Time
+		}
+	case legReply:
+		if leg == b.replyLeg {
+			b.replyHandle = e.Time
+		}
+	}
+}
+
+// checkpoint is one named point of a span's lifecycle used to cut stages.
+type checkpoint struct {
+	name string
+	t    int64
+}
+
+// roundCheckpoints builds the current round's ordered checkpoint chain
+// from whatever evidence the round has.
+func (b *spanBuilder) roundCheckpoints() []checkpoint {
+	var cps []checkpoint
+	add := func(name string, t int64) {
+		if t != 0 {
+			cps = append(cps, checkpoint{name, t})
+		}
+	}
+
+	// Request leg: issue, link queue, wire, home inbox.
+	if b.reqLeg != nil {
+		if b.hasMiss {
+			add("issue", b.reqLeg.sendTime)
+		}
+		if b.reqLeg.hasXmit {
+			add("req-queue", b.reqLeg.sendTime+b.reqLeg.x.queue)
+			add("req-wire", b.reqLeg.x.arrive)
+			add("home-inbox", b.homeHandle)
+		} else {
+			add("req-flight", b.homeHandle)
+		}
+	} else if b.hasMiss && b.homeHandle != 0 {
+		// Direct path: no message, the handler ran in the requester's
+		// own group; miss-to-dispatch is all issue work.
+		add("issue", b.homeHandle)
+	}
+	add("home-queued", b.homeRequeue)
+
+	// Forward leg (three-hop requests only).
+	if b.fwdLeg != nil {
+		add("home-serve", b.fwdLeg.sendTime)
+		if b.fwdLeg.hasXmit {
+			add("fwd-queue", b.fwdLeg.sendTime+b.fwdLeg.x.queue)
+			add("fwd-wire", b.fwdLeg.x.arrive)
+			add("owner-inbox", b.ownerHandle)
+		} else {
+			add("fwd-flight", b.ownerHandle)
+		}
+	} else if b.ownerHandle != 0 {
+		// The forward's send was sampled out but its handle survived.
+		add("fwd-flight", b.ownerHandle)
+	}
+	add("owner-queued", b.ownerRequeue)
+
+	// Reply leg.
+	serve := "home-serve"
+	if b.ownerHandle != 0 {
+		serve = "owner-serve"
+	}
+	if b.replyLeg != nil {
+		add(serve, b.replyLeg.sendTime)
+		if b.replyLeg.hasXmit {
+			add("reply-queue", b.replyLeg.sendTime+b.replyLeg.x.queue)
+			add("reply-wire", b.replyLeg.x.arrive)
+			add("reply-inbox", b.replyHandle)
+		} else {
+			add("reply-flight", b.replyHandle)
+		}
+	} else {
+		add("reply-flight", b.replyHandle)
+	}
+	return cps
+}
+
+// roundUplink reports whether any of the round's legs crossed an uplink.
+func (b *spanBuilder) roundUplink() bool {
+	for _, leg := range []*spanLeg{b.reqLeg, b.fwdLeg, b.replyLeg} {
+		if leg != nil && leg.hasXmit && leg.x.via == "uplink" {
+			return true
+		}
+	}
+	return false
+}
+
+// roundStart is the virtual time the current round's stages continue from:
+// the end of the folded retry prefix, or the span's start.
+func (b *spanBuilder) roundStart() int64 {
+	if b.prefixEnd != 0 {
+		return b.prefixEnd
+	}
+	return b.start
+}
+
+// cutStages appends the stages the checkpoint chain cuts out of
+// [from, cap] to dst: each stage is the interval between consecutive known
+// checkpoints, named after the activity that ends at its right edge.
+// Unknown checkpoints were skipped by the caller, so coarser traces yield
+// coarser (compound) stages whose durations still telescope exactly.
+// Checkpoints are clamped to cap — an xmit arrival can legitimately exceed
+// a later handle when a newer reply overtook a superseded one — and ok is
+// false on a non-monotone chain (possible only on gapped traces that
+// mis-paired evidence).
+func cutStages(dst []SpanStage, cps []checkpoint, from, cap int64) ([]SpanStage, int64, bool) {
+	last := from
+	for _, cp := range cps {
+		t := cp.t
+		if t > cap {
+			t = cap
+		}
+		if t < last {
+			return dst, last, false
+		}
+		if t > last {
+			dst = append(dst, SpanStage{cp.name, t - last})
+			last = t
+		}
+	}
+	return dst, last, true
+}
+
+// foldRetry closes the current round at a retry: the requester's reply was
+// superseded by a concurrent invalidation and it re-issued the request at
+// sendTime. The round's stages and a "retry" gap (supersession notice and
+// re-issue) are folded into the prefix, and the round state resets for the
+// new request. Reports false on a non-monotone round (gapped evidence);
+// the caller drops the span.
+func (b *spanBuilder) foldRetry(sendTime int64) bool {
+	prefix, last, ok := cutStages(b.prefix, b.roundCheckpoints(), b.roundStart(), sendTime)
+	if !ok {
+		return false
+	}
+	if last < sendTime {
+		prefix = append(prefix, SpanStage{"retry", sendTime - last})
+	}
+	b.prefix, b.prefixEnd = prefix, sendTime
+	b.retries++
+	b.uplink = b.uplink || b.roundUplink()
+	b.reqLeg, b.fwdLeg, b.replyLeg = nil, nil, nil
+	b.homeHandle, b.homeRequeue = 0, 0
+	b.ownerHandle, b.ownerRequeue = 0, 0
+	b.replyHandle = 0
+	return true
+}
+
+// finalize partitions [start, install] into stages: the folded retry-round
+// prefix (if any) followed by the final round's checkpoint chain. The
+// partition telescopes, so a complete span's stages sum exactly to its
+// end-to-end latency.
+func (b *spanBuilder) finalize(install protocol.TraceEvent) (Span, string) {
+	sp := Span{Requester: b.req, Home: b.home, Owner: b.owner, Block: b.blk,
+		Kind: b.kind, Start: b.start, End: install.Time, Seq: b.seq,
+		Retries: b.retries}
+
+	stages := append([]SpanStage(nil), b.prefix...)
+	stages, last, ok := cutStages(stages, b.roundCheckpoints(), b.roundStart(), install.Time)
+	if !ok {
+		return Span{}, "non-monotone"
+	}
+	if last < install.Time {
+		// Remaining tail with no checkpoint evidence (e.g. no reply
+		// visible at all): attribute to install.
+		stages = append(stages, SpanStage{"install", install.Time - last})
+	}
+	sp.Stages = stages
+
+	// Hops: prefer the install event's own classification.
+	sp.Hops = 2
+	if b.ownerHandle != 0 || b.fwdLeg != nil {
+		sp.Hops = 3
+	}
+	var seq int64
+	var hops int
+	if n, err := fmt.Sscanf(install.Detail, "shared seq=%d hops=%d", &seq, &hops); n == 2 && err == nil {
+		sp.Hops = hops
+	} else if n, err := fmt.Sscanf(install.Detail, "exclusive seq=%d hops=%d", &seq, &hops); n == 2 && err == nil {
+		sp.Hops = hops
+	}
+	sp.Uplink = b.uplink || b.roundUplink()
+	return sp, ""
+}
+
+// stageOrder fixes the display order of the stage vocabulary.
+var stageOrder = []string{
+	"issue",
+	"req-queue", "req-wire", "req-flight", "home-inbox",
+	"home-queued", "home-serve",
+	"fwd-queue", "fwd-wire", "fwd-flight", "owner-inbox",
+	"owner-queued", "owner-serve",
+	"reply-queue", "reply-wire", "reply-flight", "reply-inbox",
+	"retry",
+	"install",
+}
+
+// stageFamily groups the stage vocabulary for the phases time-series:
+// queue (link-lane waits), wire (serialization + propagation, incl. uplink),
+// flight (compound transit on xmit-less traces), inbox (arrival-to-dispatch
+// waits), requeue (blocked-request re-dispatches), serve (directory and owner
+// handler work), retry (superseded-reply re-issue rounds), and the
+// issue/install endpoints.
+func stageFamily(name string) string {
+	switch {
+	case strings.HasSuffix(name, "-queue"):
+		return "queue"
+	case strings.HasSuffix(name, "-wire"):
+		return "wire"
+	case strings.HasSuffix(name, "-flight"):
+		return "flight"
+	case strings.HasSuffix(name, "-inbox"):
+		return "inbox"
+	case strings.HasSuffix(name, "-queued"):
+		return "requeue"
+	case strings.HasSuffix(name, "-serve"):
+		return "serve"
+	}
+	return name // issue, install
+}
+
+// phaseFamilies fixes the column order of the phases table.
+var phaseFamilies = []string{"issue", "queue", "wire", "flight", "inbox", "requeue", "serve", "retry", "install"}
+
+// pctiles computes exact nearest-rank percentiles over a sorted slice.
+func pctile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(float64(len(sorted))*q+0.999999) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// tailLine renders one percentile row for a group of span totals.
+func tailLine(b *strings.Builder, label string, totals []int64) {
+	sort.Slice(totals, func(i, j int) bool { return totals[i] < totals[j] })
+	var sum int64
+	for _, t := range totals {
+		sum += t
+	}
+	mean := int64(0)
+	if len(totals) > 0 {
+		mean = sum / int64(len(totals))
+	}
+	fmt.Fprintf(b, "  %-22s %8d %10d %10d %10d %10d %10d %10d\n",
+		label, len(totals), mean, pctile(totals, 0.50), pctile(totals, 0.90),
+		pctile(totals, 0.99), pctile(totals, 0.999), pctile(totals, 1.0))
+}
+
+// groupTotals collects span totals keyed by a classifier.
+func groupTotals(spans []Span, key func(*Span) string) map[string][]int64 {
+	g := map[string][]int64{}
+	for i := range spans {
+		k := key(&spans[i])
+		g[k] = append(g[k], spans[i].Total())
+	}
+	return g
+}
+
+// sortedGroupKeys returns a group map's keys ordered by descending total
+// cycles (the hottest groups first), ties by key, truncated to topN (<=0
+// means all).
+func sortedGroupKeys(g map[string][]int64, topN int) []string {
+	keys := make([]string, 0, len(g))
+	sums := make(map[string]int64, len(g))
+	for k, ts := range g {
+		keys = append(keys, k)
+		for _, t := range ts {
+			sums[k] += t
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if sums[keys[i]] != sums[keys[j]] {
+			return sums[keys[i]] > sums[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	if topN > 0 && len(keys) > topN {
+		keys = keys[:topN]
+	}
+	return keys
+}
+
+// route classifies a span's transit: "uplink" when any leg crossed a
+// hierarchical uplink, "remote" otherwise.
+func (s *Span) route() string {
+	if s.Uplink {
+		return "uplink"
+	}
+	return "remote"
+}
+
+// FormatSpans renders the span report: reconstruction accounting, overall
+// and per-group tail percentiles, the per-stage cycle breakdown, tail
+// composition (which stages dominate the slowest percentile) and the topK
+// slowest requests as waterfalls. Deterministic for identical traces.
+func FormatSpans(ss *SpanSet, topK int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "spans: %d complete\n", len(ss.Spans))
+	reasons := make([]string, 0, len(ss.Dropped))
+	for r := range ss.Dropped {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	parts := make([]string, len(reasons))
+	for i, r := range reasons {
+		parts[i] = fmt.Sprintf("%s %d", r, ss.Dropped[r])
+	}
+	if len(parts) > 0 {
+		fmt.Fprintf(&b, "dropped: %d (%s)\n", ss.DroppedTotal(), strings.Join(parts, ", "))
+	} else {
+		fmt.Fprintf(&b, "dropped: 0\n")
+	}
+	if ss.UnissuedMisses > 0 {
+		fmt.Fprintf(&b, "misses without visible request: %d\n", ss.UnissuedMisses)
+	}
+	for _, w := range ss.Warnings {
+		fmt.Fprintf(&b, "warning: %s\n", w)
+	}
+	if len(ss.Spans) == 0 {
+		return b.String()
+	}
+
+	header := func(title string) {
+		fmt.Fprintf(&b, "%s\n  %-22s %8s %10s %10s %10s %10s %10s %10s\n",
+			title, "", "count", "mean", "p50", "p90", "p99", "p99.9", "max")
+	}
+	all := make([]int64, len(ss.Spans))
+	for i := range ss.Spans {
+		all[i] = ss.Spans[i].Total()
+	}
+	header("latency (cycles)")
+	tailLine(&b, "all", all)
+	for _, grp := range []struct {
+		title string
+		topN  int
+		key   func(*Span) string
+	}{
+		{"by kind", 0, func(s *Span) string { return s.Kind }},
+		{"by hops", 0, func(s *Span) string { return fmt.Sprintf("%d-hop", s.Hops) }},
+		{"by route", 0, func(s *Span) string { return s.route() }},
+		{"by home (top 8)", 8, func(s *Span) string { return fmt.Sprintf("home p%d", s.Home) }},
+		{"by block (top 8)", 8, func(s *Span) string { return fmt.Sprintf("blk%d", s.Block) }},
+	} {
+		g := groupTotals(ss.Spans, grp.key)
+		header(grp.title)
+		for _, k := range sortedGroupKeys(g, grp.topN) {
+			tailLine(&b, k, g[k])
+		}
+	}
+
+	// Per-stage breakdown over all complete spans.
+	type agg struct {
+		count int
+		total int64
+		durs  []int64
+	}
+	stages := map[string]*agg{}
+	var grand int64
+	for i := range ss.Spans {
+		for _, st := range ss.Spans[i].Stages {
+			a := stages[st.Name]
+			if a == nil {
+				a = &agg{}
+				stages[st.Name] = a
+			}
+			a.count++
+			a.total += st.Cycles
+			a.durs = append(a.durs, st.Cycles)
+			grand += st.Cycles
+		}
+	}
+	fmt.Fprintf(&b, "stages\n  %-22s %8s %12s %7s %10s %10s\n",
+		"", "count", "cycles", "share", "mean", "p99")
+	for _, name := range stageOrder {
+		a := stages[name]
+		if a == nil {
+			continue
+		}
+		sort.Slice(a.durs, func(i, j int) bool { return a.durs[i] < a.durs[j] })
+		share := 0.0
+		if grand > 0 {
+			share = 100 * float64(a.total) / float64(grand)
+		}
+		fmt.Fprintf(&b, "  %-22s %8d %12d %6.1f%% %10d %10d\n",
+			name, a.count, a.total, share, a.total/int64(a.count), pctile(a.durs, 0.99))
+	}
+
+	// Tail composition: where do the slowest 1% spend their cycles?
+	sorted := append([]int64(nil), all...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	p99 := pctile(sorted, 0.99)
+	tailStages := map[string]int64{}
+	var tailGrand int64
+	tailN := 0
+	for i := range ss.Spans {
+		if ss.Spans[i].Total() < p99 {
+			continue
+		}
+		tailN++
+		for _, st := range ss.Spans[i].Stages {
+			tailStages[st.Name] += st.Cycles
+			tailGrand += st.Cycles
+		}
+	}
+	fmt.Fprintf(&b, "tail composition (%d spans >= p99 %d cycles)\n", tailN, p99)
+	for _, name := range stageOrder {
+		t := tailStages[name]
+		if t == 0 {
+			continue
+		}
+		share := 100 * float64(t) / float64(tailGrand)
+		overall := 0.0
+		if a := stages[name]; a != nil && grand > 0 {
+			overall = 100 * float64(a.total) / float64(grand)
+		}
+		fmt.Fprintf(&b, "  %-22s %12d %6.1f%%  (overall %5.1f%%)\n", name, t, share, overall)
+	}
+
+	// Top-K slowest requests, full waterfalls.
+	if topK > 0 {
+		idx := make([]int, len(ss.Spans))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, c int) bool {
+			sa, sc := &ss.Spans[idx[a]], &ss.Spans[idx[c]]
+			if sa.Total() != sc.Total() {
+				return sa.Total() > sc.Total()
+			}
+			return sa.Seq < sc.Seq
+		})
+		if len(idx) > topK {
+			idx = idx[:topK]
+		}
+		fmt.Fprintf(&b, "slowest %d requests\n", len(idx))
+		for _, i := range idx {
+			s := &ss.Spans[i]
+			owner := "-"
+			if s.Owner >= 0 {
+				owner = fmt.Sprintf("p%d", s.Owner)
+			}
+			fmt.Fprintf(&b, "  seq=%d %s blk%d p%d -> home p%d owner %s %d-hop %s: %d cycles @%d..%d\n",
+				s.Seq, s.Kind, s.Block, s.Requester, s.Home, owner, s.Hops, s.route(),
+				s.Total(), s.Start, s.End)
+			for _, st := range s.Stages {
+				bar := int(st.Cycles * 40 / s.Total())
+				fmt.Fprintf(&b, "    %-22s %10d  %s\n", st.Name, st.Cycles, strings.Repeat("#", bar))
+			}
+		}
+	}
+	return b.String()
+}
+
+// FormatPhases renders a windowed time-series of stage-family cycle totals:
+// complete spans are bucketed by completion time into `windows` equal
+// virtual-time windows, exposing phase behaviour (e.g. a contended stage
+// appearing mid-run) that the end-of-run aggregate hides. Deterministic for
+// identical traces.
+func FormatPhases(ss *SpanSet, windows int) string {
+	var b strings.Builder
+	if len(ss.Spans) == 0 {
+		b.WriteString("no complete spans\n")
+		for _, w := range ss.Warnings {
+			fmt.Fprintf(&b, "warning: %s\n", w)
+		}
+		return b.String()
+	}
+	if windows < 1 {
+		windows = 1
+	}
+	lo, hi := ss.Spans[0].End, ss.Spans[0].End
+	for i := range ss.Spans {
+		if ss.Spans[i].End < lo {
+			lo = ss.Spans[i].End
+		}
+		if ss.Spans[i].End > hi {
+			hi = ss.Spans[i].End
+		}
+	}
+	width := (hi - lo + int64(windows)) / int64(windows) // ceil, so hi lands in the last window
+	if width < 1 {
+		width = 1
+	}
+	type win struct {
+		count  int
+		fams   map[string]int64
+		totals []int64
+	}
+	wins := make([]win, windows)
+	for i := range ss.Spans {
+		s := &ss.Spans[i]
+		w := int((s.End - lo) / width)
+		if w >= windows {
+			w = windows - 1
+		}
+		if wins[w].fams == nil {
+			wins[w].fams = map[string]int64{}
+		}
+		wins[w].count++
+		wins[w].totals = append(wins[w].totals, s.Total())
+		for _, st := range s.Stages {
+			wins[w].fams[stageFamily(st.Name)] += st.Cycles
+		}
+	}
+	fmt.Fprintf(&b, "phases: %d windows of %d cycles, %d spans (bucketed by completion time)\n",
+		windows, width, len(ss.Spans))
+	fmt.Fprintf(&b, "%-24s %6s %10s", "window", "spans", "p99")
+	for _, f := range phaseFamilies {
+		fmt.Fprintf(&b, " %10s", f)
+	}
+	b.WriteString("\n")
+	for w := range wins {
+		t0 := lo + int64(w)*width
+		t1 := t0 + width
+		fmt.Fprintf(&b, "%-24s %6d", fmt.Sprintf("[%d,%d)", t0, t1), wins[w].count)
+		if wins[w].count == 0 {
+			fmt.Fprintf(&b, " %10s", "-")
+			for range phaseFamilies {
+				fmt.Fprintf(&b, " %10s", "-")
+			}
+			b.WriteString("\n")
+			continue
+		}
+		sort.Slice(wins[w].totals, func(i, j int) bool { return wins[w].totals[i] < wins[w].totals[j] })
+		fmt.Fprintf(&b, " %10d", pctile(wins[w].totals, 0.99))
+		for _, f := range phaseFamilies {
+			fmt.Fprintf(&b, " %10d", wins[w].fams[f])
+		}
+		b.WriteString("\n")
+	}
+	for _, w := range ss.Warnings {
+		fmt.Fprintf(&b, "warning: %s\n", w)
+	}
+	return b.String()
+}

@@ -10,6 +10,14 @@ import (
 // send transmits a protocol message, charging send occupancy to cat and
 // classifying the message for the Figure 7 statistics. Wake messages model
 // intra-group notification through shared memory and are not counted.
+//
+// Miss-lifecycle messages (requests, forwards, replies) additionally emit
+// an xmit trace event carrying the interconnect's timing decomposition of
+// this delivery — destination, span requester, arrival cycle, and the
+// queue/wire/serialization split — immediately after the send event, so
+// the span layer (internal/obsv, OBSERVABILITY.md §10) can attribute each
+// request's latency to its protocol stages. The components telescope:
+// arrive - (send event time) = queue + wire + xfer, exactly.
 func (p *Proc) send(dst int, m *pmsg, cat stats.TimeCategory) {
 	c := p.sys.cfg.Costs
 	p.charge(cat, c.SendOverhead)
@@ -24,7 +32,16 @@ func (p *Proc) send(dst int, m *pmsg, cat stats.TimeCategory) {
 			p.st.Messages[stats.RemoteMsg]++
 		}
 	}
-	p.sys.net.Send(p.sp, dst, m.sizeBytes(), m)
+	info := p.sys.net.Send(p.sp, dst, m.sizeBytes(), m)
+	if p.sys.tracer != nil && m.kind.spanLeg() {
+		r := m.requester
+		if m.kind.spanReply() {
+			r = dst
+		}
+		p.trace("xmit", m.kind.String(), m.baseLine,
+			"to p%d R%d arrive=%d queue=%d wire=%d xfer=%d via=%s",
+			dst, r, info.Arrival, info.Queue, info.Wire, info.Transfer, info.Via())
+	}
 }
 
 // sendHome routes a request to its block's home processor: as a protocol

@@ -65,6 +65,25 @@ func (k msgKind) String() string {
 	return fmt.Sprintf("msgKind(%d)", int(k))
 }
 
+// spanLeg reports whether the message kind is one leg of a miss-request
+// lifecycle (request, forward or reply): the kinds whose sends carry an
+// xmit trace event with the interconnect's timing decomposition, so the
+// span layer can rebuild each request's stage waterfall.
+func (k msgKind) spanLeg() bool {
+	switch k {
+	case mReadReq, mReadExclReq, mUpgradeReq, mReadFwd, mReadExclFwd,
+		mDataReply, mDataExclReply, mUpgradeAck:
+		return true
+	}
+	return false
+}
+
+// spanReply reports whether the kind is a reply leg, whose span requester
+// is its destination (reply messages do not carry a requester field).
+func (k msgKind) spanReply() bool {
+	return k == mDataReply || k == mDataExclReply || k == mUpgradeAck
+}
+
 // pmsg is the payload of every protocol message.
 type pmsg struct {
 	kind msgKind

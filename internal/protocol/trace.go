@@ -32,9 +32,15 @@ const TraceSchemaVersion = 1
 //	touch       the exact sub-block slots a batched body accessed in one
 //	            fetched block, emitted at batch end (compatible v1
 //	            extension; the race detector's batch access evidence)
+//	xmit        the interconnect's timing decomposition for one
+//	            miss-protocol message (request, forward or reply),
+//	            emitted immediately after its send event: destination,
+//	            requester, absolute arrival cycle, and the link-queue /
+//	            wire / serialization split (compatible v1 extension; the
+//	            span layer's transit evidence, see OBSERVABILITY.md §10)
 var TraceOps = []string{
 	"send", "handle", "miss", "downgrade", "install", "invalidate",
-	"sync", "batch", "privup", "touch",
+	"sync", "batch", "privup", "touch", "xmit",
 }
 
 // TraceEvent is one protocol-level event, emitted to a Tracer attached to

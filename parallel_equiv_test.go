@@ -2,8 +2,8 @@ package shasta_test
 
 // The parallel scheduler's contract is bit-identical results: for every
 // application, a run under the conservative window-based parallel scheduler
-// must produce exactly the trace bytes, metrics bytes, cycle count and
-// checksum of the serial run. This test enforces the contract end to end
+// must produce exactly the trace bytes, metrics bytes, derived span report,
+// cycle count and checksum of the serial run. This test enforces the contract end to end
 // over all nine applications at 8 processors (two SMP nodes, so the
 // parallel runs genuinely use concurrent windows).
 
@@ -18,9 +18,12 @@ import (
 )
 
 // observedRun executes one application and serializes its observable
-// artifacts: the trace JSONL bytes, the metrics JSON bytes, the parallel
-// cycle count, and the workload checksum.
-func observedRun(t *testing.T, app string, cfg shasta.Config) (trace, metrics []byte, cycles int64, sum float64) {
+// artifacts: the trace JSONL bytes, the metrics JSON bytes, the span report
+// derived from the trace, the parallel cycle count, and the workload
+// checksum. As a side effect it asserts the span layer's soundness
+// invariant on the run: a complete trace reconstructs with no drops and
+// every span's stage durations sum exactly to its end-to-end latency.
+func observedRun(t *testing.T, app string, cfg shasta.Config) (trace, metrics []byte, spans string, cycles int64, sum float64) {
 	t.Helper()
 	f, ok := apps.Registry[app]
 	if !ok {
@@ -44,7 +47,25 @@ func observedRun(t *testing.T, app string, cfg shasta.Config) (trace, metrics []
 	if err := r.Metrics.WriteJSON(&mb); err != nil {
 		t.Fatal(err)
 	}
-	return tb.Bytes(), mb.Bytes(), r.Result.ParallelCycles, r.Checksum
+	ss := obsv.BuildSpans(col.Events)
+	if len(ss.Spans) == 0 {
+		t.Errorf("%s (parallel=%v): no spans reconstructed", app, cfg.Parallel)
+	}
+	if ss.DroppedTotal() != 0 || len(ss.Warnings) != 0 {
+		t.Errorf("%s (parallel=%v): complete trace dropped=%v warnings=%v",
+			app, cfg.Parallel, ss.Dropped, ss.Warnings)
+	}
+	for i := range ss.Spans {
+		var stageSum int64
+		for _, st := range ss.Spans[i].Stages {
+			stageSum += st.Cycles
+		}
+		if stageSum != ss.Spans[i].Total() {
+			t.Fatalf("%s (parallel=%v): span seq=%d stages sum %d, want %d",
+				app, cfg.Parallel, ss.Spans[i].Seq, stageSum, ss.Spans[i].Total())
+		}
+	}
+	return tb.Bytes(), mb.Bytes(), obsv.FormatSpans(ss, 5), r.Result.ParallelCycles, r.Checksum
 }
 
 func TestParallelSchedulerBitIdentical(t *testing.T) {
@@ -54,9 +75,9 @@ func TestParallelSchedulerBitIdentical(t *testing.T) {
 	for _, app := range apps.Names {
 		t.Run(app, func(t *testing.T) {
 			cfg := shasta.Config{Procs: 8, Clustering: 4}
-			sTrace, sMetrics, sCycles, sSum := observedRun(t, app, cfg)
+			sTrace, sMetrics, sSpans, sCycles, sSum := observedRun(t, app, cfg)
 			cfg.Parallel = true
-			pTrace, pMetrics, pCycles, pSum := observedRun(t, app, cfg)
+			pTrace, pMetrics, pSpans, pCycles, pSum := observedRun(t, app, cfg)
 			if sCycles != pCycles {
 				t.Errorf("cycles differ: serial %d, parallel %d", sCycles, pCycles)
 			}
@@ -70,6 +91,14 @@ func TestParallelSchedulerBitIdentical(t *testing.T) {
 			if !bytes.Equal(sTrace, pTrace) {
 				t.Errorf("trace bytes differ (%d vs %d bytes); first divergence:\n%s",
 					len(sTrace), len(pTrace), firstDiffContext(sTrace, pTrace))
+			}
+			// The span report is derived from the trace, but its own
+			// byte-identity is pinned separately: reconstruction walks
+			// maps and sorts, so this also guards against nondeterminism
+			// in the span layer itself.
+			if sSpans != pSpans {
+				t.Errorf("span report differs; first divergence:\n%s",
+					firstDiffContext([]byte(sSpans), []byte(pSpans)))
 			}
 			// The per-block sharing counters are the newest and most
 			// order-sensitive part of the snapshot (mask ORs, per-proc
@@ -101,7 +130,7 @@ func TestParallelSchedulerBitIdenticalAtScale(t *testing.T) {
 		t.Skip("64-processor runs under three schedulers")
 	}
 	base := shasta.Config{Procs: 64, Clustering: 4, NodesPerGroup: 4, HeapBytes: 4 << 20}
-	sTrace, sMetrics, sCycles, sSum := observedRun(t, "LU", base)
+	sTrace, sMetrics, sSpans, sCycles, sSum := observedRun(t, "LU", base)
 	for _, mode := range []struct {
 		name  string
 		fixed bool
@@ -110,7 +139,7 @@ func TestParallelSchedulerBitIdenticalAtScale(t *testing.T) {
 			cfg := base
 			cfg.Parallel = true
 			cfg.FixedWindows = mode.fixed
-			pTrace, pMetrics, pCycles, pSum := observedRun(t, "LU", cfg)
+			pTrace, pMetrics, pSpans, pCycles, pSum := observedRun(t, "LU", cfg)
 			if sCycles != pCycles {
 				t.Errorf("cycles differ: serial %d, parallel %d", sCycles, pCycles)
 			}
@@ -124,6 +153,10 @@ func TestParallelSchedulerBitIdenticalAtScale(t *testing.T) {
 			if !bytes.Equal(sTrace, pTrace) {
 				t.Errorf("trace bytes differ (%d vs %d bytes); first divergence:\n%s",
 					len(sTrace), len(pTrace), firstDiffContext(sTrace, pTrace))
+			}
+			if sSpans != pSpans {
+				t.Errorf("span report differs; first divergence:\n%s",
+					firstDiffContext([]byte(sSpans), []byte(pSpans)))
 			}
 		})
 	}
