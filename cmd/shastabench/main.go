@@ -5,7 +5,8 @@
 // Usage:
 //
 //	shastabench [-scale N] [-apps a,b,c] [-obsv DIR] [-parallel auto|on|off] [-inject-race MODE]
-//	            [-procs N] [-topology NxG] [-snapshot FILE] [-label NAME] [list | all | <experiment>...]
+//	            [-procs N] [-topology NxG] [-snapshot FILE] [-label NAME] [-migrate]
+//	            [list | all | <experiment>...]
 //
 // Experiments: table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8 micro anl
 // (plus the post-paper ablate, profile, pdes, sharing, races and scale
@@ -18,6 +19,11 @@
 // -snapshot writes the measurements as a shasta-bench/v1 JSON snapshot
 // named by -label for benchgate comparison. See PERFORMANCE.md for the
 // benchmarking workflow.
+//
+// -migrate enables online home migration (see OBSERVABILITY.md §11) for
+// every application run, so any experiment's tables can be regenerated
+// under migration and compared against the static-home defaults; the
+// dedicated migrate experiment reports the off/on contrast directly.
 //
 // -inject-race restricts the races experiment to one injection mode (none,
 // drop-lock, reorder-publish); by default it runs all three and checks each
@@ -55,6 +61,7 @@ func main() {
 	topology := flag.String("topology", "", "scale experiment: node arrangement NxG (procs per node x nodes per group; \"N\" = flat)")
 	snapshot := flag.String("snapshot", "", "scale experiment: write a shasta-bench/v1 snapshot to this file")
 	label := flag.String("label", "", "snapshot label (default \"local\")")
+	migrateFlag := flag.Bool("migrate", false, "enable online home migration for every application run (see OBSERVABILITY.md §11)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: shastabench [-scale N] [-apps a,b,c] [-obsv DIR] [-parallel auto|on|off] [-inject-race MODE] [list | all | <experiment>...]\n\nexperiments:\n")
 		for _, e := range harness.Experiments {
@@ -94,6 +101,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "shastabench: -parallel must be auto, on or off (got %q)\n", *parFlag)
 		os.Exit(2)
 	}
+	harness.SetMigrate(*migrateFlag)
 	if *obsvDir != "" {
 		if err := os.MkdirAll(*obsvDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "shastabench: %v\n", err)

@@ -15,6 +15,7 @@
 //	shastatrace export-chrome <trace.jsonl>...
 //	shastatrace check <trace.jsonl>...
 //	shastatrace races <trace.jsonl>...
+//	shastatrace migrations <trace.jsonl>...
 //	shastatrace blocks [-n N] <metrics.json>
 //	shastatrace falseshare <metrics.json>
 //	shastatrace advise <metrics.json>
@@ -64,6 +65,8 @@ trace analysis (one or more trace.jsonl segments, concatenated in order):
   check <trace.jsonl>...          replay the trace through the invariant checker
   races <trace.jsonl>...          happens-before data-race detection over the
                                   trace's accesses and synchronization edges
+  migrations <trace.jsonl>...     online home-migration activity: hand-off and
+                                  forward totals, per-block home chains
 
 profiles (metrics.json exact, or approximated from a bare trace):
   breakdown <file>...             per-processor execution-time profile
@@ -477,6 +480,21 @@ func cmdRaces(args []string, stdout io.Writer) (int, error) {
 	return 0, nil
 }
 
+// cmdMigrations reports the trace's online home-migration activity: hand-off
+// and forward totals, then per-block home chains with cost evidence (see
+// OBSERVABILITY.md §11).
+func cmdMigrations(args []string, stdout io.Writer) (int, error) {
+	if len(args) == 0 {
+		return 2, usageError{"migrations needs at least one trace file"}
+	}
+	events, err := readTraces(args)
+	if err != nil {
+		return 2, err
+	}
+	fmt.Fprint(stdout, obsv.MigrationReport(events))
+	return 0, nil
+}
+
 // metricsDoc reads the single metrics document the observatory subcommands
 // operate on, requiring a non-empty blocks section.
 func metricsDoc(cmd string, args []string) (*obsv.Snapshot, error) {
@@ -573,6 +591,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		code, err = cmdCheck(rest, stdout)
 	case "races":
 		code, err = cmdRaces(rest, stdout)
+	case "migrations":
+		code, err = cmdMigrations(rest, stdout)
 	case "blocks":
 		code, err = cmdBlocks(rest, stdout, stderr)
 	case "falseshare":

@@ -61,6 +61,30 @@ func threehopRun() *shasta.Cluster {
 	return cluster
 }
 
+// migrateRun is the threehopRun pattern with online home migration enabled
+// and more rounds: the hot block's home (processor 0) sees node 1's writes
+// dominating its miss model and hands the directory entry over, so the
+// trace carries migrate decision/installation events and tombstone
+// forwards for the migrations fixture.
+func migrateRun(tr shasta.Tracer) *shasta.Cluster {
+	cluster := shasta.MustCluster(shasta.Config{Procs: 8, Clustering: 4, Migrate: true})
+	arr := cluster.Alloc(256, 64)
+	cluster.SetTracer(tr)
+	cluster.Run(func(p *shasta.Proc) {
+		for round := 0; round < 24; round++ {
+			if p.ID() == 7 {
+				p.StoreF64(arr, float64(round))
+			}
+			p.Barrier()
+			if p.ID() < 4 {
+				_ = p.LoadF64(arr)
+			}
+			p.Barrier()
+		}
+	})
+	return cluster
+}
+
 func writeMetrics(t *testing.T, path string, m *shasta.Metrics) {
 	t.Helper()
 	var buf bytes.Buffer
@@ -96,6 +120,8 @@ func writeTrace(t *testing.T, path string, events []protocol.TraceEvent) {
 //	corrupt.jsonl  the trace with a DataReply send removed and seqs
 //	               renumbered — an invariant violation check must catch
 //	threehop.json  metrics of the placement-adverse threehopRun workload
+//	migrate.jsonl  trace of the migrateRun workload: online home migration
+//	               hands the hot block to the writer's node mid-run
 //	lu256.json     metrics of LU at 256-byte lines (the paper's
 //	               false-sharing granularity for LU)
 //	racy.jsonl     trace of the synthetic Racy workload with the drop-lock
@@ -117,6 +143,10 @@ func regenFixtures(t *testing.T) {
 	writeTrace(t, "testdata/racy.jsonl", rcol.Events)
 
 	writeMetrics(t, "testdata/threehop.json", threehopRun().Metrics())
+
+	mcol := &shasta.CollectorTracer{}
+	migrateRun(mcol)
+	writeTrace(t, "testdata/migrate.jsonl", mcol.Events)
 
 	r, err := apps.ExecuteObserved(apps.Registry["LU"](1),
 		shasta.Config{Procs: 8, Clustering: 4, LineSize: 256}, false, nil)
@@ -180,6 +210,12 @@ func TestGolden(t *testing.T) {
 		{"breakdown-trace", []string{"breakdown", "testdata/small.jsonl"}, 0},
 		{"hist-metrics", []string{"hist", "testdata/bench.json"}, 0},
 		{"hist-trace", []string{"hist", "testdata/small.jsonl"}, 0},
+		// hist-empty.json and hist-single.json are hand-written edge-case
+		// fixtures (not regenerated by -update): an empty histogram plus a
+		// malformed all-zero-bucket one, and a single-bucket histogram. Both
+		// must render without est lines going NaN or dividing by zero.
+		{"hist-empty", []string{"hist", "testdata/hist-empty.json"}, 0},
+		{"hist-single", []string{"hist", "testdata/hist-single.json"}, 0},
 		{"critpath", []string{"critpath", "testdata/small.jsonl"}, 0},
 		{"critpath-gapped", []string{"critpath", "testdata/filtered.jsonl"}, 0},
 		{"spans", []string{"spans", "-top", "3", "testdata/small.jsonl"}, 0},
@@ -190,6 +226,9 @@ func TestGolden(t *testing.T) {
 		{"check-gapped", []string{"check", "testdata/filtered.jsonl"}, 0},
 		{"races-clean", []string{"races", "testdata/small.jsonl"}, 0},
 		{"races-racy", []string{"races", "testdata/racy.jsonl"}, 1},
+		{"migrations", []string{"migrations", "testdata/migrate.jsonl"}, 0},
+		{"migrations-none", []string{"migrations", "testdata/small.jsonl"}, 0},
+		{"migrations-timeline", []string{"timeline", "0", "testdata/migrate.jsonl"}, 0},
 		{"filter", []string{"filter", "-p", "4", "-op", "send,handle", "testdata/small.jsonl"}, 0},
 		{"blocks", []string{"blocks", "-n", "10", "testdata/bench.json"}, 0},
 		{"blocks-lu256", []string{"blocks", "-n", "10", "testdata/lu256.json"}, 0},

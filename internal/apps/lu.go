@@ -24,6 +24,8 @@ import (
 type LU struct {
 	n, b       int  // matrix dim, block dim
 	contig     bool // contiguous block layout
+	misplaced  bool // home the whole matrix at processor 0
+	sweeps     int  // measured re-initialize + factor repetitions
 	mat        F64Array
 	cluster    *shasta.Cluster
 	nb         int // blocks per dimension
@@ -40,7 +42,24 @@ func NewLU(scale int, contig bool) *LU {
 		scale = 1
 	}
 	n := 512 * scale
-	return &LU{n: n, b: 16, contig: contig, flopCycles: 1}
+	return &LU{n: n, b: 16, contig: contig, sweeps: 1, flopCycles: 1}
+}
+
+// NewLUIterated builds the row-major LU workload with two benchmarking
+// knobs for the home-migration experiment: sweeps repeats the measured
+// re-initialize-and-factor cycle (a repeated-factorization harness, as
+// solver benchmarks run; every sweep produces the identical factorization,
+// so the checksum is the single-sweep one), and misplaced homes the whole
+// matrix at processor 0 — the placement a sequential first-touch
+// initialization produces, where every directory access pays a remote hop
+// to node 0.
+func NewLUIterated(scale, sweeps int, misplaced bool) *LU {
+	w := NewLU(scale, false)
+	if sweeps > 1 {
+		w.sweeps = sweeps
+	}
+	w.misplaced = misplaced
+	return w
 }
 
 // Name implements Workload.
@@ -75,6 +94,10 @@ func (w *LU) Setup(c *shasta.Cluster, variableGranularity bool) {
 			bi, bj := blk/w.nb, blk%w.nb
 			return w.owner(bi, bj, c.Procs())
 		}), Len: elems}
+	} else if w.misplaced {
+		// Sequential-first-touch placement: every page homed at processor 0.
+		w.mat = F64Array{Base: c.AllocHomed(int64(elems)*8, blockSize,
+			func(int64) int { return 0 }), Len: elems}
 	} else {
 		w.mat = AllocF64(c, elems, blockSize)
 	}
@@ -137,14 +160,13 @@ func (w *LU) storeBlock(b *shasta.Batch, bi, bj int, buf []float64) {
 	}
 }
 
-// Body implements Workload.
-func (w *LU) Body(p *shasta.Proc) {
+// initBlocks fills every block owned by this processor (as in SPLASH-2 LU),
+// with a per-block deterministic generator so the matrix is identical for
+// any processor count — and for any repetition, so iterated sweeps all
+// factor the same matrix.
+func (w *LU) initBlocks(p *shasta.Proc) {
 	n, bdim, nb := w.n, w.b, w.nb
 	procs := p.NumProcs()
-
-	// Initialization: every block is filled by its owner (as in SPLASH-2
-	// LU), with a per-block deterministic generator so the matrix is
-	// identical for any processor count.
 	for bi := 0; bi < nb; bi++ {
 		for bj := 0; bj < nb; bj++ {
 			if w.owner(bi, bj, procs) != p.ID() {
@@ -166,17 +188,41 @@ func (w *LU) Body(p *shasta.Proc) {
 			})
 		}
 	}
+}
+
+// Body implements Workload.
+func (w *LU) Body(p *shasta.Proc) {
+	bdim := w.b
+
+	w.initBlocks(p)
 	p.Barrier()
 	if p.ID() == 0 {
 		p.ResetStats()
 	}
 	p.Barrier()
 
-	// Factorization.
 	diag := make([]float64, bdim*bdim)
 	left := make([]float64, bdim*bdim)
 	up := make([]float64, bdim*bdim)
 	cur := make([]float64, bdim*bdim)
+	for sweep := 0; sweep < w.sweeps; sweep++ {
+		if sweep > 0 {
+			// Iterated sweeps re-create the matrix and factor it again:
+			// the owners' re-initialization stores and the consumers'
+			// re-reads repeat the factorization's sharing pattern.
+			w.initBlocks(p)
+			p.Barrier()
+		}
+		w.factor(p, diag, left, up, cur)
+	}
+	w.finish(p)
+}
+
+// factor runs one blocked factorization over the (freshly initialized)
+// matrix; the scratch buffers are the caller's so sweeps reuse them.
+func (w *LU) factor(p *shasta.Proc, diag, left, up, cur []float64) {
+	nb := w.nb
+	procs := p.NumProcs()
 	for k := 0; k < nb; k++ {
 		// Phase 1: the diagonal block's owner factors it in place.
 		if w.owner(k, k, procs) == p.ID() {
@@ -232,6 +278,12 @@ func (w *LU) Body(p *shasta.Proc) {
 		}
 		p.Barrier()
 	}
+}
+
+// finish ends the measured phase and computes the verification checksum.
+func (w *LU) finish(p *shasta.Proc) {
+	nb, bdim := w.nb, w.b
+	procs := p.NumProcs()
 	if p.ID() == 0 {
 		p.EndMeasured()
 	}

@@ -88,6 +88,7 @@ var Experiments = []Experiment{
 	{"races", "Race-detector injection: clean and mis-synchronized runs, detector verdict vs ground truth", Races},
 	{"scale", "16-256 processor sweep: hierarchical topologies, scheduler wall-clock, bit-identity at scale", Scale},
 	{"tail", "Tail-latency observatory: flat vs hierarchical topology, span-derived p99 and stage attribution", Tail},
+	{"migrate", "Online home migration: misplaced blocks re-home to their traffic, off vs on", Migrate},
 }
 
 // ByID returns the experiment with the given ID.
@@ -110,6 +111,7 @@ type runKey struct {
 	hardware bool
 	smpChk   bool
 	varGran  bool
+	migrate  bool
 }
 
 var runCache = map[runKey]apps.RunResult{}
@@ -136,6 +138,18 @@ var parallel bool
 // runs (false restores the serial scheduler).
 func SetParallel(on bool) { parallel = on }
 
+// migrate, when set, enables online home migration (Config.Migrate) for
+// every subsequent application run, so any experiment's tables can be
+// regenerated under migration for comparison. Unlike the scheduler choice
+// this changes simulated results, so migrated runs get their own runCache
+// keys and "_mig"-suffixed observability files. Process-global like
+// parallel; shastabench sets it from its -migrate flag.
+var migrate bool
+
+// SetMigrate enables online home migration for subsequent runs (false
+// restores static homes). Hardware-coherence runs ignore it.
+func SetMigrate(on bool) { migrate = on }
+
 // obsvName encodes a run key into the file-name fragment shared by that
 // run's trace and metrics files.
 func obsvName(key runKey) string {
@@ -149,13 +163,19 @@ func obsvName(key runKey) string {
 	if key.varGran {
 		name += "_vg"
 	}
+	if key.migrate {
+		name += "_mig"
+	}
 	return name
 }
 
 // runApp executes (or recalls) one application run.
 func runApp(app string, scale int, cfg shasta.Config, varGran bool) (apps.RunResult, error) {
 	cfg.Parallel = parallel
-	key := runKey{app, scale, cfg.Procs, cfg.Clustering, cfg.Hardware, cfg.ForceSMPChecks, varGran}
+	if migrate && !cfg.Hardware && !cfg.ShareDirectory {
+		cfg.Migrate = true
+	}
+	key := runKey{app, scale, cfg.Procs, cfg.Clustering, cfg.Hardware, cfg.ForceSMPChecks, varGran, cfg.Migrate}
 	if r, ok := runCache[key]; ok {
 		return r, nil
 	}

@@ -1,0 +1,262 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro"
+	"repro/internal/apps"
+)
+
+// hot3hop is the migrate experiment's synthetic fixture: an array of blocks
+// whose configured home (node 0) neither reads nor writes them. Node 1's
+// processors own and repeatedly update disjoint block ranges; node 2's
+// processors read every block each round. With static placement every read
+// miss is a three-hop forward (requester -> home -> owner) and every
+// upgrade pays remote invalidation round trips through node 0; online
+// migration re-homes each block to its writer's node, collapsing the reads
+// to two hops and making the writer's directory traffic node-local.
+type hot3hop struct {
+	blocks, rounds int
+	arr            apps.F64Array
+	cluster        *shasta.Cluster
+	checksum       float64
+}
+
+// newHot3hop builds the fixture; scale multiplies the round count.
+func newHot3hop(scale int) *hot3hop {
+	return &hot3hop{blocks: 16, rounds: 40 * scale}
+}
+
+func (w *hot3hop) Name() string { return "hot3hop" }
+
+func (w *hot3hop) ProblemSize() string {
+	return fmt.Sprintf("%d blocks, %d rounds, home off-node", w.blocks, w.rounds)
+}
+
+func (w *hot3hop) Setup(c *shasta.Cluster, variableGranularity bool) {
+	w.cluster = c
+	// One 64-byte block per slot, every page homed at processor 0 — the
+	// adversarial placement migration must undo.
+	w.arr = apps.F64Array{Base: c.AllocPlaced(int64(w.blocks)*64, 64, 0), Len: w.blocks * 8}
+}
+
+// slot returns the address of block b's first element.
+func (w *hot3hop) slot(b int) shasta.Addr { return w.arr.At(b * 8) }
+
+func (w *hot3hop) Body(p *shasta.Proc) {
+	procs := p.NumProcs()
+	writers := make([]int, 0, 4)
+	readers := make([]int, 0, procs)
+	for q := 0; q < procs; q++ {
+		switch q / 4 {
+		case 1:
+			writers = append(writers, q)
+		case 2:
+			readers = append(readers, q)
+		}
+	}
+	role := func(q int) (writer, reader bool) {
+		for _, v := range writers {
+			if v == q {
+				return true, false
+			}
+		}
+		for _, v := range readers {
+			if v == q {
+				return false, true
+			}
+		}
+		return false, false
+	}
+	isWriter, isReader := role(p.ID())
+	myBlocks := func() []int {
+		var bs []int
+		for b := 0; b < w.blocks; b++ {
+			if writers[b%len(writers)] == p.ID() {
+				bs = append(bs, b)
+			}
+		}
+		return bs
+	}()
+
+	// Initialization by the writers, then the measured phase.
+	if isWriter {
+		for _, b := range myBlocks {
+			p.StoreF64(w.slot(b), float64(b))
+		}
+	}
+	p.Barrier()
+	if p.ID() == 0 {
+		p.ResetStats()
+	}
+	p.Barrier()
+
+	for round := 0; round < w.rounds; round++ {
+		if isWriter {
+			for _, b := range myBlocks {
+				p.StoreF64(w.slot(b), p.LoadF64(w.slot(b))+1)
+			}
+		}
+		p.Barrier()
+		if isReader {
+			sum := 0.0
+			for b := 0; b < w.blocks; b++ {
+				sum += p.LoadF64(w.slot(b))
+			}
+			_ = sum
+		}
+		p.Barrier()
+	}
+
+	if p.ID() == 0 {
+		p.EndMeasured()
+	}
+	p.Barrier()
+	if p.ID() == 0 {
+		sum := 0.0
+		for b := 0; b < w.blocks; b++ {
+			sum += p.LoadF64(w.slot(b))
+		}
+		w.checksum = sum
+	}
+	p.Barrier()
+}
+
+func (w *hot3hop) Checksum() float64 { return w.checksum }
+
+// migFixtures are the migrate experiment's workloads: the synthetic
+// three-hop-heavy fixture, and iterated LU at 256-byte lines (four
+// measured re-initialize-and-factor sweeps, the repeated-factorization
+// harness solver benchmarks run). LU's matrix pages are homed round-robin,
+// so a line's home is unrelated to the block owner that re-writes it every
+// sweep and the perimeter consumers that re-read it; migration re-homes
+// lines to their owners' nodes during the first sweeps, and the later
+// sweeps run with a fraction of the 3-hop misses. LU's burst per line is
+// short (one owner plus a handful of perimeter readers per sweep), so the
+// fixture sets MigrateInterval to 4 — the evidence window that fits the
+// pattern; hot3hop uses the protocol defaults.
+var migFixtures = []struct {
+	name    string
+	procs   int
+	factory func(scale int) apps.Workload
+	cfg     func(procs int) shasta.Config
+}{
+	{"hot3hop", 16,
+		func(s int) apps.Workload { return newHot3hop(s) },
+		func(procs int) shasta.Config { return shasta.Config{Procs: procs, Clustering: 4} }},
+	{"LU256", 16,
+		func(s int) apps.Workload { return apps.NewLUIterated(s, 4, false) },
+		func(procs int) shasta.Config {
+			return shasta.Config{Procs: procs, Clustering: 4, LineSize: 256, MigrateInterval: 4}
+		}},
+}
+
+// Migrate contrasts static home placement with online home migration on
+// workloads whose traffic concentrates away from the configured home: the
+// synthetic hot3hop fixture and iterated LU at 256-byte lines. Each fixture
+// runs with migration off and on; the report gives end-to-end measured
+// cycles, the migration and tombstone-forward counts, three-hop miss counts
+// and remote message traffic. The experiment fails if migration does not
+// reduce either fixture's measured cycles — the optimization must pay on
+// its target patterns, not merely stay neutral.
+//
+// With Options.SnapshotPath set, both runs of every fixture are written as
+// shasta-bench/v1 scenarios ("migrate/<fixture>/off|on") for benchgate
+// comparison across commits. With observability emission enabled
+// (shastabench -obsv), each run also writes its full metrics snapshot as
+// BENCH_migrate_<fixture>_{off,on}.json.
+func Migrate(o Options, w io.Writer) error {
+	o = o.WithDefaults()
+
+	var snap *BenchSnapshot
+	if o.SnapshotPath != "" {
+		label := o.BenchLabel
+		if label == "" {
+			label = "local"
+		}
+		snap = newBenchSnapshot(label)
+	}
+	sched := "serial"
+	if parallel {
+		sched = "adaptive"
+	}
+
+	tw := newTab(w)
+	fmt.Fprintln(tw, "fixture\tmigrate\tcycles\tΔcycles\tmigrations\tforwards\t3-hop misses\tremote msgs")
+	for _, fx := range migFixtures {
+		var cycles [2]int64
+		for i, on := range []bool{false, true} {
+			cfg := fx.cfg(fx.procs)
+			cfg.Migrate = on
+			cfg.Parallel = parallel
+			start := time.Now()
+			r, err := apps.ExecuteObserved(fx.factory(o.Scale), cfg, false, nil)
+			if err != nil {
+				return fmt.Errorf("harness: migrate: %s: %w", fx.name, err)
+			}
+			wall := time.Since(start)
+			t := r.Metrics.Totals
+			threeHop := t.Misses["read-3hop"] + t.Misses["write-3hop"] + t.Misses["upgrade-3hop"]
+			cycles[i] = r.Result.ParallelCycles
+			delta := ""
+			if on {
+				delta = fmt.Sprintf("%+.1f%%", 100*float64(cycles[1]-cycles[0])/float64(cycles[0]))
+			}
+			mode := "off"
+			if on {
+				mode = "on"
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%d\t%d\t%d\t%d\n",
+				fx.name, mode, cycles[i], delta, t.Migrations, t.MigForwards,
+				threeHop, t.Messages["remote"])
+			if snap != nil {
+				snap.Scenarios = append(snap.Scenarios, BenchScenario{
+					Name:         fmt.Sprintf("migrate/%s/%s", fx.name, mode),
+					App:          fx.name,
+					Procs:        fx.procs,
+					ProcsPerNode: 4,
+					Clustering:   fx.cfg(fx.procs).Clustering,
+					Scheduler:    sched,
+					WallNs:       wall.Nanoseconds(),
+					Cycles:       r.Result.ParallelCycles,
+					Checksum:     r.Checksum,
+				})
+			}
+			if obsvDir != "" {
+				path := filepath.Join(obsvDir, fmt.Sprintf("BENCH_migrate_%s_%s.json", fx.name, mode))
+				mf, err := os.Create(path)
+				if err != nil {
+					return err
+				}
+				if err := r.Metrics.WriteJSON(mf); err != nil {
+					mf.Close()
+					return err
+				}
+				if err := mf.Close(); err != nil {
+					return err
+				}
+			}
+		}
+		if cycles[1] >= cycles[0] {
+			return fmt.Errorf("harness: migrate: %s: migration did not reduce cycles (%d off, %d on)",
+				fx.name, cycles[0], cycles[1])
+		}
+		fmt.Fprintf(tw, "%s\tsaved\t%d\t%.1f%%\t\t\t\t\n", fx.name, cycles[0]-cycles[1],
+			100*float64(cycles[0]-cycles[1])/float64(cycles[0]))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if snap != nil {
+		if err := snap.WriteFile(o.SnapshotPath); err != nil {
+			return fmt.Errorf("harness: migrate: snapshot: %w", err)
+		}
+		fmt.Fprintf(w, "snapshot written: %s (label %s, %d scenarios)\n",
+			o.SnapshotPath, snap.Label, len(snap.Scenarios))
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMigrateExperimentSmoke runs the migrate experiment end to end and
+// checks the report, the cycle-reduction enforcement path (Migrate itself
+// errors if either fixture fails to improve), and the snapshot it writes.
+// It also re-runs against the snapshot it just wrote through benchgate's
+// comparison, which must come back all-equal — the determinism the
+// committed BENCH_migrate.json gate in CI relies on.
+func TestMigrateExperimentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs both fixtures twice")
+	}
+	snap := filepath.Join(t.TempDir(), "BENCH_test.json")
+	var buf bytes.Buffer
+	if err := Migrate(Options{SnapshotPath: snap, BenchLabel: "test"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"hot3hop", "LU256", "saved", "snapshot written"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	s, err := ReadBenchSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Label != "test" || len(s.Scenarios) != 4 {
+		t.Fatalf("snapshot label %q with %d scenarios, want test/4", s.Label, len(s.Scenarios))
+	}
+	byName := map[string]BenchScenario{}
+	for _, sc := range s.Scenarios {
+		if sc.WallNs <= 0 || sc.Cycles <= 0 {
+			t.Errorf("implausible scenario %+v", sc)
+		}
+		byName[sc.Name] = sc
+	}
+	for _, fx := range []string{"hot3hop", "LU256"} {
+		off, on := byName["migrate/"+fx+"/off"], byName["migrate/"+fx+"/on"]
+		if off.Cycles == 0 || on.Cycles == 0 {
+			t.Fatalf("%s: missing off/on scenarios in %v", fx, byName)
+		}
+		if on.Cycles >= off.Cycles {
+			t.Errorf("%s: migration did not reduce cycles (%d off, %d on)", fx, off.Cycles, on.Cycles)
+		}
+		if off.Checksum != on.Checksum {
+			t.Errorf("%s: migration changed the checksum (%v off, %v on)", fx, off.Checksum, on.Checksum)
+		}
+	}
+
+	// A second run must reproduce the snapshot's cycles and checksums
+	// exactly (wall times differ; the comparison normalizes them).
+	var buf2 bytes.Buffer
+	snap2 := filepath.Join(t.TempDir(), "BENCH_test2.json")
+	if err := Migrate(Options{SnapshotPath: snap2, BenchLabel: "test2"}, &buf2); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ReadBenchSnapshot(snap2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := CompareBenchSnapshots(s, s2, 100) // generous wall tolerance: only cycles/checksums matter here
+	if len(cmp.Diverged) != 0 {
+		t.Errorf("rerun diverged on %v:\n%s", cmp.Diverged, cmp.Report)
+	}
+}

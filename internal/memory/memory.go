@@ -101,6 +101,13 @@ type Layout struct {
 	// alignment gaps between allocations are programming errors and are
 	// rejected by InHeap.
 	allocated []bool
+	// migratable[b] (indexed by a block's first line) marks blocks whose
+	// home the protocol may move at runtime (online home migration);
+	// migEpoch[b] counts completed migrations of the block. Both are
+	// written only by protocol code under the block's happens-before
+	// chain, so the layout itself needs no locking.
+	migratable []bool
+	migEpoch   []int32
 }
 
 // NewLayout creates a layout with the given line size (which must be a
@@ -119,6 +126,8 @@ func NewLayout(lineSize int, heapSize int64) *Layout {
 		blockBase:  make([]int32, nLines),
 		blockLines: make([]int32, nLines),
 		allocated:  make([]bool, nLines),
+		migratable: make([]bool, nLines),
+		migEpoch:   make([]int32, nLines),
 	}
 	for i := range l.blockBase {
 		l.blockBase[i] = int32(i)
@@ -222,6 +231,29 @@ func (l *Layout) InHeap(addr Addr, size int) bool {
 
 // PageOf returns the virtual page number of addr, used for home assignment.
 func (l *Layout) PageOf(addr Addr) int { return int(addr) / PageSize }
+
+// SetMigratable marks (or unmarks) every block of [addr, addr+size) as a
+// candidate for online home migration. Called at allocation time; the flag
+// is immutable once the run starts.
+func (l *Layout) SetMigratable(addr Addr, size int64, on bool) {
+	first := int(addr) / l.lineSize
+	last := (int64(addr) + size - 1) / int64(l.lineSize)
+	for li := first; li <= int(last); li++ {
+		l.migratable[l.blockBase[li]] = on
+	}
+}
+
+// Migratable reports whether the block with the given base line may be
+// re-homed at runtime.
+func (l *Layout) Migratable(baseLine int) bool { return l.migratable[baseLine] }
+
+// BumpMigEpoch records one completed migration of the block. Only the
+// block's new home calls it, inside the migration handshake, so successive
+// bumps of one block are ordered by the protocol's happens-before chain.
+func (l *Layout) BumpMigEpoch(baseLine int) { l.migEpoch[baseLine]++ }
+
+// MigEpoch returns how many times the block has been re-homed.
+func (l *Layout) MigEpoch(baseLine int) int { return int(l.migEpoch[baseLine]) }
 
 // Image is one sharing group's copy of the heap: its data bytes and the
 // group's shared state table.

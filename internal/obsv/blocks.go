@@ -188,6 +188,12 @@ func classifyBlock(readers, writers []int, wmasks []uint64, misses, invals, upgr
 // from the per-processor write/upgrade miss counts (a block's owner is its
 // last writer); with no observed writers the block is read-only after init
 // and every miss is served by the home in 2 hops.
+//
+// Tie-breaking is part of the advisor's contract: when candidate homes have
+// equal hop-weighted cost, the configured home wins, then the lowest node
+// id. The protocol's online migration trigger evaluates the same model with
+// the same tie-break (see internal/protocol), so advice and migration
+// decisions can never flap between equal-cost homes.
 func adviseHome(accesses []BlockAccess, homeNode, numNodes, ppn int) (homeCost, bestCost int64, bestNode int) {
 	nodeOf := func(p int) int { return p / ppn }
 	leg := func(a, b int) int64 {
@@ -228,9 +234,18 @@ func adviseHome(accesses []BlockAccess, homeNode, numNodes, ppn int) (homeCost, 
 		return c
 	}
 	raw := make([]int64, numNodes)
-	bestNode = 0
 	for h := 0; h < numNodes; h++ {
 		raw[h] = cost(h)
+	}
+	// Deterministic tie-break: start from the configured home and displace
+	// it only for a strictly cheaper candidate; scanning in ascending node
+	// order with a strict comparison keeps the lowest id among equal-cost
+	// strict improvements.
+	bestNode = homeNode
+	if bestNode < 0 || bestNode >= numNodes {
+		bestNode = 0
+	}
+	for h := 0; h < numNodes; h++ {
 		if raw[h] < raw[bestNode] {
 			bestNode = h
 		}

@@ -1,0 +1,47 @@
+package obsv
+
+import "testing"
+
+// TestAdviseHomeTieBreak pins the advisor's documented tie-break on
+// constructed equal-cost candidates: the configured home wins a tie, and
+// among strictly cheaper candidates of equal cost the lowest node id wins.
+// The migration trigger reuses this contract, so a flapping tie here would
+// mean oscillating homes there.
+func TestAdviseHomeTieBreak(t *testing.T) {
+	const ppn = 4
+	const numNodes = 4
+	// Read-only traffic (no write misses): cost(h) = sum of 2-hop round
+	// trips. Equal reader miss counts on nodes 0 and 1 make those two
+	// candidates tie, and the all-remote nodes 2 and 3 tie above them.
+	accesses := []BlockAccess{
+		{Proc: 0, Misses: 10}, // node 0
+		{Proc: 4, Misses: 10}, // node 1
+	}
+
+	// Home on node 1: node 0 has exactly equal cost, so the configured home
+	// must be kept (no migration advice on a tie).
+	homeCost, bestCost, bestNode := adviseHome(accesses, 1, numNodes, ppn)
+	if bestNode != 1 {
+		t.Errorf("home=1: bestNode = %d, want the configured home 1 on an equal-cost tie", bestNode)
+	}
+	if homeCost != bestCost {
+		t.Errorf("home=1: homeCost %d != bestCost %d on a tie", homeCost, bestCost)
+	}
+
+	// Home on node 3: nodes 0 and 1 are strictly cheaper and tie with each
+	// other; the advisor must deterministically pick the lowest id.
+	homeCost, bestCost, bestNode = adviseHome(accesses, 3, numNodes, ppn)
+	if bestNode != 0 {
+		t.Errorf("home=3: bestNode = %d, want lowest-id node 0 among tied improvements", bestNode)
+	}
+	if bestCost >= homeCost {
+		t.Errorf("home=3: bestCost %d not below homeCost %d", bestCost, homeCost)
+	}
+
+	// Repeatability: the same inputs can never flap.
+	for i := 0; i < 5; i++ {
+		if _, _, n := adviseHome(accesses, 3, numNodes, ppn); n != 0 {
+			t.Fatalf("advice flapped to node %d on identical inputs", n)
+		}
+	}
+}

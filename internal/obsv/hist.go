@@ -39,10 +39,16 @@ func bucketLabel(b int) string {
 // bucket width — but it turns existing histograms into tail summaries
 // without re-running; the span layer (BuildSpans) computes exact
 // percentiles when a trace is available. The top (open) bucket has no upper
-// edge, so ranks landing there estimate as its lower edge. ok is false for
-// an empty histogram.
+// edge, so ranks landing there estimate as its lower edge.
+//
+// ok is false for an empty histogram (Count <= 0 or no buckets), and also
+// for a malformed document whose Count exceeds the bucket sum — the rank
+// then lands past every bucket and there is nothing to interpolate within.
+// Zero buckets are skipped before the interpolation divide, so a
+// single-bucket histogram (the smallest valid input) always interpolates
+// with n >= 1: no divide-by-zero or NaN path exists for any input.
 func estPercentile(h Histogram, q float64) (int64, bool) {
-	if h.Count <= 0 {
+	if h.Count <= 0 || len(h.Buckets) == 0 {
 		return 0, false
 	}
 	rank := int64(float64(h.Count)*q + 0.999999) // nearest-rank, 1-based
@@ -51,7 +57,7 @@ func estPercentile(h Histogram, q float64) (int64, bool) {
 	}
 	var cum int64
 	for bi, n := range h.Buckets {
-		if n == 0 {
+		if n <= 0 {
 			continue
 		}
 		if cum+n >= rank {
@@ -59,13 +65,13 @@ func estPercentile(h Histogram, q float64) (int64, bool) {
 			if hi < 0 {
 				return lo, true
 			}
-			// Interpolate the rank's position within the bucket.
+			// Interpolate the rank's position within the bucket; n >= 1 here.
 			frac := (float64(rank-cum) - 0.5) / float64(n)
 			return lo + int64(frac*float64(hi-lo)), true
 		}
 		cum += n
 	}
-	return 0, false
+	return 0, false // Count > bucket sum: malformed, decline to estimate
 }
 
 // FormatHistograms renders a histogram map deterministically: keys sorted,

@@ -1,0 +1,73 @@
+package obsv
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestEstPercentileEdgeCases pins the estimator's contract on degenerate
+// inputs: empty and malformed histograms decline to estimate (ok=false)
+// rather than divide by zero or return NaN-derived garbage, and the
+// smallest valid input — a single non-zero bucket — interpolates within it.
+func TestEstPercentileEdgeCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		h      Histogram
+		q      float64
+		want   int64
+		wantOK bool
+	}{
+		{"empty", Histogram{}, 0.50, 0, false},
+		{"zero-count-with-buckets", Histogram{Buckets: []int64{3}, Count: 0}, 0.50, 0, false},
+		{"count-without-buckets", Histogram{Buckets: nil, Count: 7}, 0.50, 0, false},
+		{"all-zero-buckets", Histogram{Buckets: []int64{0, 0, 0}, Count: 7}, 0.99, 0, false},
+		{"count-exceeds-bucket-sum", Histogram{Buckets: []int64{0, 2}, Count: 10}, 0.99, 0, false},
+		// Single bucket 4 covers cycles [8,16): rank 3 of 5 lands at
+		// 8 + (3-0.5)/5*8 = 12; rank 5 at 8 + (5-0.5)/5*8 = 15.
+		{"single-bucket-p50", Histogram{Buckets: []int64{0, 0, 0, 0, 5}, Count: 5}, 0.50, 12, true},
+		{"single-bucket-p99", Histogram{Buckets: []int64{0, 0, 0, 0, 5}, Count: 5}, 0.99, 15, true},
+		// One sample: every percentile interpolates inside its bucket.
+		{"one-sample", Histogram{Buckets: []int64{1}, Count: 1}, 0.99, 0, true},
+		// Ranks landing in the open top bucket estimate as its lower edge.
+		{"open-top-bucket", Histogram{Buckets: topBucketOnly(), Count: 4}, 0.99, topBucketLo(), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := estPercentile(tc.h, tc.q)
+			if got != tc.want || ok != tc.wantOK {
+				t.Fatalf("estPercentile(%+v, %v) = (%d, %v), want (%d, %v)",
+					tc.h, tc.q, got, ok, tc.want, tc.wantOK)
+			}
+		})
+	}
+}
+
+func topBucketOnly() []int64 {
+	b := make([]int64, stats.NumLatencyBuckets)
+	b[stats.NumLatencyBuckets-1] = 4
+	return b
+}
+
+func topBucketLo() int64 {
+	lo, _ := stats.BucketRange(stats.NumLatencyBuckets - 1)
+	return lo
+}
+
+// TestFormatHistogramsDegenerate verifies rendering of empty and malformed
+// histograms: sample-count lines appear, but no bar or est line does, and
+// nothing NaN-like leaks into the output.
+func TestFormatHistogramsDegenerate(t *testing.T) {
+	out := FormatHistograms(map[string]Histogram{
+		"empty":     {},
+		"malformed": {Buckets: []int64{0, 0}, Count: 9},
+	})
+	want := "empty: 0 samples\nmalformed: 9 samples\n"
+	if out != want {
+		t.Fatalf("output %q, want %q", out, want)
+	}
+	if strings.Contains(out, "NaN") || strings.Contains(out, "est p50") {
+		t.Fatalf("degenerate histograms must not produce estimates: %q", out)
+	}
+}

@@ -60,6 +60,12 @@ type Totals struct {
 	LockHoldCycles int64 `json:"lock_hold_cycles"`
 	LockAcquires   int64 `json:"lock_acquires"`
 
+	// Online home migrations decided and tombstone forwards relayed
+	// (zero unless the protocol's Migrate option is enabled; compatible
+	// snapshot extension).
+	Migrations  int64 `json:"migrations,omitempty"`
+	MigForwards int64 `json:"mig_forwards,omitempty"`
+
 	AvgReadLatencyMicros float64 `json:"avg_read_latency_us"`
 }
 
@@ -243,6 +249,8 @@ func Snap(sys *protocol.System) *Snapshot {
 		t.Checks += p.ChecksExecuted
 		t.FalseMisses += p.FalseMisses
 		t.StallEvents += p.StallEvents
+		t.Migrations += p.Migrations
+		t.MigForwards += p.MigForwards
 	}
 	t.HandlerCycles, t.HandlerEvents = run.HandlerOccupancy()
 	t.LockHoldCycles, t.LockAcquires = run.LockHolds()

@@ -174,6 +174,12 @@ type spanBuilder struct {
 	ownerHandle, ownerRequeue int64
 	replyHandle               int64
 
+	// rehomed marks a round whose request was re-dispatched at a different
+	// processor than the home that first handled it: the block's home
+	// migrated mid-flight and a tombstone forwarded the request to the
+	// live home (online migration; see internal/protocol).
+	rehomed bool
+
 	// prefix holds the stages of completed retry rounds; prefixEnd is the
 	// virtual time they cover up to (0 when there are none).
 	prefix    []SpanStage
@@ -348,6 +354,12 @@ func BuildSpans(events []protocol.TraceEvent) *SpanSet {
 					b.ownerRequeue = e.Time
 				} else {
 					b.homeRequeue = e.Time
+					if e.Proc != b.home {
+						// Re-dispatched at a different processor than the
+						// home that first handled it: the block's home
+						// migrated and a tombstone forwarded the request.
+						b.rehomed, b.home = true, e.Proc
+					}
 				}
 			case role == legReq:
 				// Direct path: open a span anchored at the miss (or here).
@@ -568,7 +580,16 @@ func (b *spanBuilder) roundCheckpoints() []checkpoint {
 		// own group; miss-to-dispatch is all issue work.
 		add("issue", b.homeHandle)
 	}
-	add("home-queued", b.homeRequeue)
+	if b.rehomed {
+		// The request reached a tombstoned old home and was forwarded to
+		// the block's live home; the interval covers the tombstone wait,
+		// the forward hop and the re-dispatch. The "-queued" suffix folds
+		// it into the requeue family, so the phases table keeps its fixed
+		// columns.
+		add("migrate-queued", b.homeRequeue)
+	} else {
+		add("home-queued", b.homeRequeue)
+	}
 
 	// Forward leg (three-hop requests only).
 	if b.fwdLeg != nil {
@@ -673,6 +694,7 @@ func (b *spanBuilder) foldRetry(sendTime int64) bool {
 	b.homeHandle, b.homeRequeue = 0, 0
 	b.ownerHandle, b.ownerRequeue = 0, 0
 	b.replyHandle = 0
+	b.rehomed = false
 	return true
 }
 
@@ -717,7 +739,7 @@ func (b *spanBuilder) finalize(install protocol.TraceEvent) (Span, string) {
 var stageOrder = []string{
 	"issue",
 	"req-queue", "req-wire", "req-flight", "home-inbox",
-	"home-queued", "home-serve",
+	"home-queued", "migrate-queued", "home-serve",
 	"fwd-queue", "fwd-wire", "fwd-flight", "owner-inbox",
 	"owner-queued", "owner-serve",
 	"reply-queue", "reply-wire", "reply-flight", "reply-inbox",

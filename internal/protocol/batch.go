@@ -333,7 +333,6 @@ func (p *Proc) batchMiss(bases []int, needs map[int]need2) {
 // sub-block ranges so an issued miss event records them as offset evidence.
 func (p *Proc) batchIssue(base int, need need2) (*missEntry, bool) {
 	store := need.store
-	addr := p.sys.lay.LineAddr(base)
 	p.lockBlock(base)
 	defer p.unlockBlock(base)
 	if entry := p.grp.miss[base]; entry != nil && !entry.complete && !entry.acksOnly() {
@@ -368,7 +367,7 @@ func (p *Proc) batchIssue(base int, need need2) (*missEntry, bool) {
 		entry.wantExcl = true
 		p.outstandingStores++
 		p.grp.img.SetBlockState(base, memory.PendingExcl)
-		p.sendHome(p.sys.homeProc(addr), &pmsg{kind: mUpgradeReq, baseLine: base,
+		p.sendHome(p.homeOf(base), &pmsg{kind: mUpgradeReq, baseLine: base,
 			requester: p.id, issueTime: p.sp.Now()}, stats.Write)
 		return entry, false
 
@@ -391,7 +390,7 @@ func (p *Proc) batchIssue(base int, need need2) (*missEntry, bool) {
 		} else {
 			p.grp.img.SetBlockState(base, memory.PendingRead)
 		}
-		p.sendHome(p.sys.homeProc(addr), &pmsg{kind: mk, baseLine: base,
+		p.sendHome(p.homeOf(base), &pmsg{kind: mk, baseLine: base,
 			requester: p.id, issueTime: p.sp.Now()}, stats.Read)
 		return entry, false
 

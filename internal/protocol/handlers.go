@@ -114,6 +114,17 @@ func (p *Proc) handle(m *pmsg) {
 			m.baseLine, p.sp.Now(), p.id, p.grp.id, m.kind, m.requester, m.seq,
 			p.grp.img.State(m.baseLine), p.grp.copySeq[m.baseLine], ek)
 	}
+	if p.sys.cfg.Migrate {
+		switch m.kind {
+		case mReadReq, mReadExclReq, mUpgradeReq, mSharingUpdate:
+			// Home-bound traffic for a block whose directory migrated
+			// away chases the live home along the tombstone chain.
+			if rec := p.migrated[m.baseLine]; rec != nil {
+				p.divertMigrated(rec, m)
+				return
+			}
+		}
+	}
 	switch m.kind {
 	case mWake:
 		// Pure notification; the stall loop re-checks its condition.
@@ -145,6 +156,10 @@ func (p *Proc) handle(m *pmsg) {
 		p.handleDowngrade(m, memory.Invalid)
 	case mLockReq, mLockGrant, mLockRel, mBarArrive, mBarGo:
 		p.handleSync(m)
+	case mMigrate:
+		p.handleMigrate(m)
+	case mMigrateAck:
+		p.handleMigrateAck(m)
 	default:
 		panic(fmt.Sprintf("protocol: proc %d got unexpected message %v", p.id, m.kind))
 	}
@@ -163,8 +178,11 @@ func (p *Proc) handleReadReq(m *pmsg) {
 	p.charge(stats.Message, c.HomeHandler)
 	base, R := m.baseLine, m.requester
 	sameGroup := p.grp == p.sys.procs[R].grp
+	defer p.maybeMigrate(base)
 	p.lockBlock(base)
 	de := p.getDir(base)
+	m.homeHint = p.migHint()
+	p.noteHomeMiss(m, de, false)
 	ownerInGroup := p.grp == p.sys.procs[de.owner].grp
 	homeIsSharer := p.groupSharer(de.sharers) >= 0
 	st := p.grp.img.State(base)
@@ -183,7 +201,7 @@ func (p *Proc) handleReadReq(m *pmsg) {
 		// node (or the requester would not have missed), so forward.
 		de.sharers.add(R)
 		p.send(de.owner, &pmsg{kind: mReadFwd, baseLine: base, requester: R,
-			seq: de.seq, issueTime: m.issueTime}, stats.Message)
+			seq: de.seq, issueTime: m.issueTime, homeHint: m.homeHint}, stats.Message)
 		p.unlockBlock(base)
 
 	case homeIsSharer && st == memory.Shared:
@@ -234,7 +252,7 @@ func (p *Proc) handleReadReq(m *pmsg) {
 		// says): forward to the owner.
 		de.sharers.add(R)
 		p.send(de.owner, &pmsg{kind: mReadFwd, baseLine: base, requester: R,
-			seq: de.seq, issueTime: m.issueTime}, stats.Message)
+			seq: de.seq, issueTime: m.issueTime, homeHint: m.homeHint}, stats.Message)
 		p.unlockBlock(base)
 	}
 }
@@ -247,8 +265,11 @@ func (p *Proc) handleReadExclReq(m *pmsg) {
 	p.charge(stats.Message, c.HomeHandler)
 	base, R := m.baseLine, m.requester
 	sameGroup := p.grp == p.sys.procs[R].grp
+	defer p.maybeMigrate(base)
 	p.lockBlock(base)
 	de := p.getDir(base)
+	m.homeHint = p.migHint()
+	p.noteHomeMiss(m, de, true)
 	ownerInGroup := p.grp == p.sys.procs[de.owner].grp
 	homeSharer := p.groupSharer(de.sharers)
 	st := p.grp.img.State(base)
@@ -264,7 +285,7 @@ func (p *Proc) handleReadExclReq(m *pmsg) {
 		acks := targets.count()
 		de.seq++
 		p.send(owner, &pmsg{kind: mReadExclFwd, baseLine: base, requester: R,
-			seq: de.seq, acks: acks, issueTime: m.issueTime}, stats.Message)
+			seq: de.seq, acks: acks, issueTime: m.issueTime, homeHint: m.homeHint}, stats.Message)
 		p.sendInvals(base, targets, R, de.seq)
 		de.owner, de.sharers = R, bit(R)
 	}
@@ -283,7 +304,8 @@ func (p *Proc) handleReadExclReq(m *pmsg) {
 			data := append([]byte(nil), h.grp.img.BlockData(base)...)
 			h.invalidateLocal(base)
 			h.send(R, &pmsg{kind: mDataExclReply, baseLine: base, data: data,
-				seq: seq, acks: 0, hops: 2, issueTime: m.issueTime}, stats.Message)
+				seq: seq, acks: 0, hops: 2, issueTime: m.issueTime,
+				homeHint: m.homeHint}, stats.Message)
 		})
 		de.owner, de.sharers, de.dirty = R, bit(R), true
 		p.unlockBlock(base)
@@ -297,7 +319,8 @@ func (p *Proc) handleReadExclReq(m *pmsg) {
 		acks := external.count()
 		de.seq++
 		p.send(R, &pmsg{kind: mDataExclReply, baseLine: base, data: data,
-			seq: de.seq, acks: acks, hops: 2, issueTime: m.issueTime}, stats.Message)
+			seq: de.seq, acks: acks, hops: 2, issueTime: m.issueTime,
+			homeHint: m.homeHint}, stats.Message)
 		p.sendInvals(base, external, R, de.seq)
 		p.startDowngrade(base, memory.Invalid, memory.Shared, func(h *Proc) {
 			h.invalidateLocal(base)
@@ -329,7 +352,10 @@ func (p *Proc) handleReadExclReq(m *pmsg) {
 // member now upgrading.
 func (p *Proc) handleUpgradeReq(m *pmsg) {
 	base, R := m.baseLine, m.requester
+	defer p.maybeMigrate(base)
 	de := p.getDir(base)
+	m.homeHint = p.migHint()
+	p.noteHomeMiss(m, de, true)
 	gm := p.sys.groupMask(R)
 	if de.sharers.and(gm).empty() ||
 		(de.dirty && p.sys.procs[de.owner].grp != p.sys.procs[R].grp) {
@@ -352,7 +378,7 @@ func (p *Proc) handleUpgradeReq(m *pmsg) {
 		acks := targets.count()
 		de.seq++
 		p.send(owner, &pmsg{kind: mReadExclFwd, baseLine: base, requester: R,
-			seq: de.seq, acks: acks, issueTime: m.issueTime}, stats.Message)
+			seq: de.seq, acks: acks, issueTime: m.issueTime, homeHint: m.homeHint}, stats.Message)
 		p.sendInvals(base, targets, R, de.seq)
 		de.owner, de.sharers, de.dirty = R, bit(R), true
 		p.unlockBlock(base)
@@ -365,7 +391,7 @@ func (p *Proc) handleUpgradeReq(m *pmsg) {
 	acks := targets.count()
 	de.seq++
 	p.send(R, &pmsg{kind: mUpgradeAck, baseLine: base, seq: de.seq, acks: acks,
-		hops: 2, issueTime: m.issueTime}, stats.Message)
+		hops: 2, issueTime: m.issueTime, homeHint: m.homeHint}, stats.Message)
 	p.sendInvals(base, targets, R, de.seq)
 	de.owner, de.sharers, de.dirty = R, bit(R), true
 	p.unlockBlock(base)
@@ -396,15 +422,16 @@ func (p *Proc) sendInvals(base int, targets procSet, requester int, seq int64) {
 	p.blockStat(base).InvalsSent += int64(targets.count())
 	targets.forEach(func(t int) {
 		p.send(t, &pmsg{kind: mInval, baseLine: base, requester: requester,
-			seq: seq}, stats.Message)
+			seq: seq, homeHint: p.migHint()}, stats.Message)
 	})
 }
 
-// replyData sends a shared-data reply for a block.
+// replyData sends a shared-data reply for a block. The home hint travels
+// from the request (set by the home, even when an owner serves 3-hop).
 func (p *Proc) replyData(R, base int, req *pmsg, hops int) {
 	data := append([]byte(nil), p.grp.img.BlockData(base)...)
 	p.send(R, &pmsg{kind: mDataReply, baseLine: base, data: data, hops: hops,
-		seq: req.seq, issueTime: req.issueTime}, stats.Message)
+		seq: req.seq, issueTime: req.issueTime, homeHint: req.homeHint}, stats.Message)
 }
 
 // --- Owner handlers ---
@@ -472,7 +499,8 @@ func (p *Proc) handleReadExclFwd(m *pmsg) {
 			data := append([]byte(nil), h.grp.img.BlockData(base)...)
 			h.invalidateLocal(base)
 			h.send(R, &pmsg{kind: mDataExclReply, baseLine: base, data: data,
-				seq: m.seq, acks: m.acks, hops: 3, issueTime: m.issueTime}, stats.Message)
+				seq: m.seq, acks: m.acks, hops: 3, issueTime: m.issueTime,
+				homeHint: m.homeHint}, stats.Message)
 		})
 	}
 	switch {
@@ -552,7 +580,14 @@ func (p *Proc) superseded(entry *missEntry) []*pmsg {
 // again. The sequence number identifies the transaction epoch; the home
 // ignores the update if a newer exclusivity grant has intervened.
 func (p *Proc) notifyClean(base int, seq int64) {
-	home := p.sys.homeProc(p.sys.lay.LineAddr(base))
+	home := p.homeOf(base)
+	if home == p.id && p.sys.cfg.Migrate && p.migrated[base] != nil {
+		// The directory migrated away from us; chase it like any other
+		// sharing update. The self-send is traced, so the eventual handle
+		// at the live home has a matching send event.
+		p.send(p.id, &pmsg{kind: mSharingUpdate, baseLine: base, seq: seq}, stats.Message)
+		return
+	}
 	if home == p.id || (p.sys.cfg.ShareDirectory && p.sys.procs[home].grp == p.grp) {
 		de := p.getDir(base)
 		if seq == de.seq {
@@ -596,6 +631,7 @@ func (p *Proc) invalidateLocal(base int) {
 func (p *Proc) handleInval(m *pmsg) {
 	c := p.sys.cfg.Costs
 	p.charge(stats.Message, c.InvalHandler)
+	p.applyHomeHint(m)
 	base, R := m.baseLine, m.requester
 	p.blockStat(base).InvalsRecv++
 	p.lockBlock(base)
@@ -707,7 +743,7 @@ func (p *Proc) mergeStores(entry *missEntry) {
 // histograms, keyed by request type and by whether the block's home is on
 // this processor's own SMP node. It only reads the clock.
 func (p *Proc) recordMissLatency(kind stats.MissKind, base int, issueTime int64) {
-	home := p.sys.homeProc(p.sys.lay.LineAddr(base))
+	home := p.homeOf(base)
 	p.st.RecordMissLatency(kind, !p.sys.net.SameNode(p.id, home), p.sp.Now()-issueTime)
 }
 
@@ -715,6 +751,7 @@ func (p *Proc) recordMissLatency(kind stats.MissKind, base int, issueTime int64)
 func (p *Proc) handleDataReply(m *pmsg) {
 	c := p.sys.cfg.Costs
 	p.charge(stats.Message, c.ReplyHandler)
+	p.applyHomeHint(m)
 	base := m.baseLine
 	p.lockBlock(base)
 	entry := p.grp.miss[base]
@@ -743,7 +780,7 @@ func (p *Proc) handleDataReply(m *pmsg) {
 		// is here, request exclusivity.
 		entry.upgradeSent = true
 		p.grp.img.SetBlockState(base, memory.PendingExcl)
-		home := p.sys.homeProc(p.sys.lay.LineAddr(base))
+		home := p.homeOf(base)
 		p.sendHome(home, &pmsg{kind: mUpgradeReq, baseLine: base, requester: p.id,
 			issueTime: p.sp.Now()}, stats.Message)
 	} else {
@@ -764,6 +801,7 @@ func (p *Proc) handleDataReply(m *pmsg) {
 func (p *Proc) handleDataExclReply(m *pmsg) {
 	c := p.sys.cfg.Costs
 	p.charge(stats.Message, c.ReplyHandler)
+	p.applyHomeHint(m)
 	base := m.baseLine
 	p.lockBlock(base)
 	entry := p.grp.miss[base]
@@ -807,6 +845,7 @@ func (p *Proc) handleDataExclReply(m *pmsg) {
 func (p *Proc) handleUpgradeAck(m *pmsg) {
 	c := p.sys.cfg.Costs
 	p.charge(stats.Message, c.ReplyHandler)
+	p.applyHomeHint(m)
 	base := m.baseLine
 	p.lockBlock(base)
 	entry := p.grp.miss[base]
@@ -889,12 +928,14 @@ func (p *Proc) replayQueued(queued []*pmsg) {
 	for _, q := range queued {
 		switch q.kind {
 		case mReadReq, mReadExclReq, mUpgradeReq:
-			home := p.sys.homeProc(p.sys.lay.LineAddr(q.baseLine))
+			home := p.homeOf(q.baseLine)
 			canHandle := home == p.id ||
 				(p.sys.cfg.ShareDirectory && p.sys.procs[home].grp == p.grp)
 			if !canHandle {
 				// Internal requeue, not a new protocol message: bypass
-				// the send-side statistics.
+				// the send-side statistics. Under migration a stale view
+				// is fine — the addressee's tombstone chases the live
+				// home, and a local re-dispatch diverts the same way.
 				p.sys.net.Send(p.sp, home, 0, q)
 				continue
 			}

@@ -45,6 +45,12 @@ const (
 	mLockRel
 	mBarArrive
 	mBarGo
+
+	// Online home migration handshake: the deciding home hands the
+	// directory entry to the new home (mMigrate) and queues requests until
+	// the new home confirms installation (mMigrateAck).
+	mMigrate
+	mMigrateAck
 )
 
 var msgKindNames = map[msgKind]string{
@@ -56,6 +62,7 @@ var msgKindNames = map[msgKind]string{
 	mWake:    "Wake",
 	mLockReq: "LockReq", mLockGrant: "LockGrant", mLockRel: "LockRel",
 	mBarArrive: "BarArrive", mBarGo: "BarGo",
+	mMigrate: "Migrate", mMigrateAck: "MigrateAck",
 }
 
 func (k msgKind) String() string {
@@ -114,6 +121,26 @@ type pmsg struct {
 	// (Replies and invalidations travel on independent channels, so a
 	// stale invalidation can physically arrive after a newer copy.)
 	seq int64
+	// homeHint, on replies and invalidations under online migration,
+	// names the block's live home plus one (0 means no hint); requesters
+	// update their group's home view from it so later misses skip the
+	// tombstone forward.
+	homeHint int
+	// mig carries the directory transfer of a migration handshake.
+	mig *migPayload
+	// counted marks a request already fed into the home's migration miss
+	// model, so queue-and-replay paths do not count it twice.
+	counted bool
+}
+
+// migPayload is the directory state an mMigrate message hands to the new
+// home: the entry itself plus the block's migration count (hysteresis).
+type migPayload struct {
+	owner   int
+	sharers procSet
+	seq     int64
+	dirty   bool
+	moved   int
 }
 
 // sizeBytes returns the payload size used for transfer-time modelling:

@@ -1,0 +1,156 @@
+package protocol
+
+// Random-program fuzzing for online home migration. Each seeded program is
+// race-free by construction — per barrier round every block has exactly one
+// designated writer, and readers check the value the previous round's writer
+// published — but the writer assignment drifts across nodes mid-program, so
+// blocks keep earning migrations while requests from other nodes are in
+// flight. The properties checked are the migration soundness conditions:
+// no stale read across a migration epoch (readers always see the latest
+// barrier-ordered value), no lost or duplicated invalidation (the per-block
+// sent/handled invalidation counters balance), full protocol quiescence
+// (every tombstone acknowledged and drained), and serial/parallel
+// bit-identity of the whole run including migration decisions.
+
+import (
+	"testing"
+
+	"repro/internal/memory"
+)
+
+const (
+	mfuzzProcs  = 12
+	mfuzzBlocks = 6
+	mfuzzRounds = 24
+	mfuzzSeeds  = 8
+)
+
+// mfuzzRNG is the deterministic splitmix-style generator used by the race
+// fuzz, so every seed builds the same program in every run.
+type mfuzzRNG struct{ s uint64 }
+
+func (r *mfuzzRNG) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *mfuzzRNG) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// mfuzzProgram assigns, per round and block, one writer and a reader set.
+// The writer is drawn from a "hot node" that advances every few rounds, so
+// each block's traffic center of mass moves and migration keeps firing.
+type mfuzzProgram struct {
+	writer  [mfuzzRounds][mfuzzBlocks]int
+	readers [mfuzzRounds][mfuzzBlocks]uint32 // bitset over processors
+}
+
+func genMigProgram(seed uint64) mfuzzProgram {
+	r := &mfuzzRNG{s: seed}
+	var prog mfuzzProgram
+	nodes := mfuzzProcs / 4
+	for round := 0; round < mfuzzRounds; round++ {
+		for b := 0; b < mfuzzBlocks; b++ {
+			hot := ((round / 6) + b) % nodes
+			prog.writer[round][b] = hot*4 + r.intn(4)
+			var set uint32
+			for p := 0; p < mfuzzProcs; p++ {
+				if r.intn(3) == 0 {
+					set |= 1 << p
+				}
+			}
+			prog.readers[round][b] = set
+		}
+	}
+	return prog
+}
+
+// mfuzzValue is the value the round's writer publishes: unique per
+// (seed, round, block) so a stale read is unambiguous.
+func mfuzzValue(seed uint64, round, blk int) uint64 {
+	return seed*1_000_000 + uint64(round)*1_000 + uint64(blk) + 1
+}
+
+// runMigFuzz executes one seeded program and returns the system for
+// post-run inspection. Readers verify, inside the run, that every load
+// observes exactly the previous round's published value — a stale copy
+// surviving a re-home would surface here.
+func runMigFuzz(t *testing.T, seed uint64, parallel bool) *System {
+	t.Helper()
+	prog := genMigProgram(seed)
+	s := New(Config{NumProcs: mfuzzProcs, ProcsPerNode: 4, Clustering: 1,
+		HeapBytes: 1 << 20, Migrate: true, Parallel: parallel})
+	a := s.AllocPlaced(mfuzzBlocks*64, 64, 0)
+	addr := func(blk int) memory.Addr { return a + memory.Addr(blk*64) }
+	s.Run(func(p *Proc) {
+		for round := 0; round < mfuzzRounds; round++ {
+			// Read phase: the previous round's writes are barrier-ordered
+			// before these loads, so the expected value is exact.
+			for b := 0; b < mfuzzBlocks; b++ {
+				if round > 0 && prog.readers[round][b]&(1<<p.ID()) != 0 {
+					want := mfuzzValue(seed, round-1, b)
+					if got := p.LoadU64(addr(b)); got != want {
+						t.Errorf("seed %d round %d block %d: proc %d read %d, want %d (stale copy across migration?)",
+							seed, round, b, p.ID(), got, want)
+					}
+				}
+			}
+			p.Barrier()
+			// Write phase.
+			for b := 0; b < mfuzzBlocks; b++ {
+				if p.ID() == prog.writer[round][b] {
+					p.StoreU64(addr(b), mfuzzValue(seed, round, b))
+				}
+			}
+			p.Barrier()
+		}
+	})
+	return s
+}
+
+func TestMigrateFuzzPrograms(t *testing.T) {
+	var totalMigs int64
+	for seed := uint64(1); seed <= mfuzzSeeds; seed++ {
+		s := runMigFuzz(t, seed, false)
+		if err := s.CheckQuiescent(); err != nil {
+			t.Errorf("seed %d: quiescence: %v", seed, err)
+		}
+		if err := s.CheckCoherence(); err != nil {
+			t.Errorf("seed %d: coherence: %v", seed, err)
+		}
+		if err := s.CheckValueCoherence(); err != nil {
+			t.Errorf("seed %d: value coherence: %v", seed, err)
+		}
+		var sent, recv, migs int64
+		for i := range s.Stats().Procs {
+			pr := &s.Stats().Procs[i]
+			migs += pr.Migrations
+			for _, b := range pr.Blocks {
+				sent += b.InvalsSent
+				recv += b.InvalsRecv
+			}
+		}
+		if sent != recv {
+			t.Errorf("seed %d: invalidation imbalance: sent %d, handled %d", seed, sent, recv)
+		}
+		totalMigs += migs
+
+		// The parallel scheduler must reproduce the run exactly, migration
+		// decisions included.
+		ps := runMigFuzz(t, seed, true)
+		pmigs, _ := migTotals(ps)
+		if smigs, _ := migTotals(s); smigs != pmigs {
+			t.Errorf("seed %d: serial migrated %d times, parallel %d", seed, smigs, pmigs)
+		}
+		if s.Stats().TotalMisses() != ps.Stats().TotalMisses() ||
+			s.Stats().TotalMessages() != ps.Stats().TotalMessages() {
+			t.Errorf("seed %d: serial/parallel stats diverged", seed)
+		}
+	}
+	if totalMigs == 0 {
+		t.Error("no seed ever migrated; the fuzz lost its subject")
+	}
+	t.Logf("total migrations across %d seeds: %d", mfuzzSeeds, totalMigs)
+}

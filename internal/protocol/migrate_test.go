@@ -1,0 +1,359 @@
+package protocol
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/memory"
+	"repro/internal/stats"
+)
+
+// migSystem builds a system with online migration enabled.
+func migSystem(procs, clustering int, parallel bool) *System {
+	return New(Config{
+		NumProcs:     procs,
+		ProcsPerNode: 4,
+		Clustering:   clustering,
+		HeapBytes:    1 << 20,
+		Migrate:      true,
+		Parallel:     parallel,
+	})
+}
+
+// migTotals sums the migration counters across processors.
+func migTotals(s *System) (migs, fwds int64) {
+	for i := range s.Stats().Procs {
+		migs += s.Stats().Procs[i].Migrations
+		fwds += s.Stats().Procs[i].MigForwards
+	}
+	return
+}
+
+// checkInvariants runs the post-run protocol checks.
+func checkInvariants(t *testing.T, s *System) {
+	t.Helper()
+	if err := s.CheckQuiescent(); err != nil {
+		t.Errorf("quiescence: %v", err)
+	}
+	if err := s.CheckCoherence(); err != nil {
+		t.Errorf("coherence: %v", err)
+	}
+	if err := s.CheckValueCoherence(); err != nil {
+		t.Errorf("value coherence: %v", err)
+	}
+}
+
+// skewedWriters ping-pongs stores between two processors of one remote node
+// on a block homed (configured) at processor 0 — the canonical misplaced
+// block. Returns the shared address.
+func skewedWriters(s *System, rounds int) memory.Addr {
+	a := s.AllocPlaced(64, 64, 0)
+	s.Run(func(p *Proc) {
+		for i := 0; i < rounds; i++ {
+			if p.ID() == 4 && i%2 == 0 {
+				p.StoreU64(a, uint64(i+1))
+			}
+			if p.ID() == 5 && i%2 == 1 {
+				p.StoreU64(a, uint64(i+1))
+			}
+			p.Barrier()
+		}
+	})
+	return a
+}
+
+// TestMigrateTriggersOnSkew checks that a block whose traffic comes entirely
+// from another node migrates there, that the move is recorded in the per-proc
+// and per-block counters and the live-home table, and that the protocol
+// stays coherent and quiescent.
+func TestMigrateTriggersOnSkew(t *testing.T) {
+	s := migSystem(8, 1, false)
+	a := skewedWriters(s, 48)
+	migs, fwds := migTotals(s)
+	if migs == 0 {
+		t.Fatal("skewed traffic triggered no migration")
+	}
+	base := s.lay.LineOf(a)
+	if h := s.HomeOf(base); h/4 != 1 {
+		t.Errorf("live home = p%d, want a node-1 processor", h)
+	}
+	if got := s.Stats().Procs[0].Blocks[base]; got == nil || got.Migrations == 0 {
+		t.Error("old home's per-block Migrations counter not incremented")
+	}
+	t.Logf("migrations=%d forwards=%d", migs, fwds)
+	checkInvariants(t, s)
+}
+
+// TestMigratePinnedNeverMoves checks that AllocPinned exempts a block from
+// migration under the same skewed traffic that migrates a default
+// allocation.
+func TestMigratePinnedNeverMoves(t *testing.T) {
+	s := migSystem(8, 1, false)
+	a := s.AllocPinned(64, 64)
+	s.Run(func(p *Proc) {
+		for i := 0; i < 48; i++ {
+			if p.ID() == 4 && i%2 == 0 {
+				p.StoreU64(a, uint64(i+1))
+			}
+			if p.ID() == 5 && i%2 == 1 {
+				p.StoreU64(a, uint64(i+1))
+			}
+			p.Barrier()
+		}
+	})
+	if migs, _ := migTotals(s); migs != 0 {
+		t.Errorf("pinned block migrated %d times", migs)
+	}
+	checkInvariants(t, s)
+}
+
+// TestMigrateReducesCycles compares the skewed-writer workload with
+// migration off and on: re-homing the block to its writers' node must lower
+// the end-to-end cycle count (the remote home round trips become local).
+func TestMigrateReducesCycles(t *testing.T) {
+	run := func(migrate bool) int64 {
+		s := New(Config{NumProcs: 8, ProcsPerNode: 4, Clustering: 1,
+			HeapBytes: 1 << 20, Migrate: migrate})
+		a := s.AllocPlaced(64, 64, 0)
+		var finish int64
+		finish = s.Run(func(p *Proc) {
+			for i := 0; i < 200; i++ {
+				if p.ID() == 4 && i%2 == 0 {
+					p.StoreU64(a, uint64(i+1))
+				}
+				if p.ID() == 5 && i%2 == 1 {
+					p.StoreU64(a, uint64(i+1))
+				}
+				p.Barrier()
+			}
+		})
+		return finish
+	}
+	off, on := run(false), run(true)
+	if on >= off {
+		t.Errorf("migration did not pay: %d cycles with, %d without", on, off)
+	}
+	t.Logf("cycles: off=%d on=%d (%.1f%% saved)", off, on,
+		100*float64(off-on)/float64(off))
+}
+
+// TestMigrateRaceLitmus races third-party traffic against the migration
+// handshake: two node-1 processors hammer a misplaced block (driving its
+// migration) while a node-2 processor loads it continuously, so requests are
+// in flight to the old home across the tombstone window and must be queued
+// and forwarded, not lost. The final value must be visible everywhere.
+func TestMigrateRaceLitmus(t *testing.T) {
+	const rounds = 96
+	s := migSystem(12, 1, false)
+	a := s.AllocPlaced(64, 64, 0)
+	s.Run(func(p *Proc) {
+		switch p.ID() {
+		case 4, 5:
+			for i := 0; i < rounds; i++ {
+				if i%2 == p.ID()%2 {
+					p.StoreU64(a, uint64(i+1))
+				}
+				p.Compute(200)
+			}
+		case 8:
+			for i := 0; i < rounds; i++ {
+				if v := p.LoadU64(a); v > rounds {
+					t.Errorf("impossible value %d", v)
+				}
+				p.Compute(150)
+			}
+		}
+		p.Barrier()
+		if v := p.LoadU64(a); v > rounds {
+			t.Errorf("proc %d: impossible final value %d", p.ID(), v)
+		}
+		p.Barrier()
+		// Publish a sentinel through the migrated home: every processor
+		// must observe it, proving no stale copy survived the re-home.
+		if p.ID() == 0 {
+			p.StoreU64(a, rounds+7)
+		}
+		p.Barrier()
+		if v := p.LoadU64(a); v != rounds+7 {
+			t.Errorf("proc %d: sentinel read %d, want %d", p.ID(), v, rounds+7)
+		}
+	})
+	migs, fwds := migTotals(s)
+	if migs == 0 {
+		t.Error("litmus never migrated; workload lost its trigger")
+	}
+	if fwds == 0 {
+		t.Error("litmus never forwarded a request along a tombstone; race window not exercised")
+	}
+	t.Logf("migrations=%d forwards=%d", migs, fwds)
+	checkInvariants(t, s)
+}
+
+// TestMigrateInvalBalance re-runs the litmus shape and checks that no
+// invalidation was lost or duplicated across migrations: every invalidation
+// sent was handled exactly once.
+func TestMigrateInvalBalance(t *testing.T) {
+	s := migSystem(12, 1, false)
+	a := s.AllocPlaced(64, 64, 0)
+	s.Run(func(p *Proc) {
+		switch p.ID() {
+		case 4, 5:
+			for i := 0; i < 64; i++ {
+				if i%2 == p.ID()%2 {
+					p.StoreU64(a, uint64(i+1))
+				}
+				p.Compute(180)
+			}
+		case 8:
+			for i := 0; i < 64; i++ {
+				_ = p.LoadU64(a)
+				p.Compute(140)
+			}
+		}
+		p.Barrier()
+	})
+	var sent, recv int64
+	for i := range s.Stats().Procs {
+		for _, b := range s.Stats().Procs[i].Blocks {
+			sent += b.InvalsSent
+			recv += b.InvalsRecv
+		}
+	}
+	if sent != recv {
+		t.Errorf("invalidation imbalance across migration: sent %d, handled %d", sent, recv)
+	}
+	checkInvariants(t, s)
+}
+
+// TestMigrateSerialParallelIdentical pins the determinism contract with
+// migration enabled: the serial and window-based parallel schedulers must
+// produce byte-identical results on a workload that migrates and forwards.
+func TestMigrateSerialParallelIdentical(t *testing.T) {
+	run := func(parallel bool) (int64, *stats.Run, int64, int64) {
+		s := migSystem(12, 1, parallel)
+		a := s.AllocPlaced(64, 64, 0)
+		finish := s.Run(func(p *Proc) {
+			switch p.ID() {
+			case 4, 5:
+				for i := 0; i < 96; i++ {
+					if i%2 == p.ID()%2 {
+						p.StoreU64(a, uint64(i+1))
+					}
+					p.Compute(200)
+				}
+			case 8:
+				for i := 0; i < 96; i++ {
+					_ = p.LoadU64(a)
+					p.Compute(150)
+				}
+			}
+			p.Barrier()
+		})
+		migs, fwds := migTotals(s)
+		return finish, s.Stats(), migs, fwds
+	}
+	sf, ss, sm, sw := run(false)
+	pf, ps, pm, pw := run(true)
+	if sf != pf || sm != pm || sw != pw {
+		t.Fatalf("serial (finish=%d migs=%d fwds=%d) != parallel (finish=%d migs=%d fwds=%d)",
+			sf, sm, sw, pf, pm, pw)
+	}
+	if sm == 0 {
+		t.Fatal("determinism workload never migrated")
+	}
+	if ss.TotalMisses() != ps.TotalMisses() || ss.TotalMessages() != ps.TotalMessages() {
+		t.Fatalf("stats diverged: misses %d vs %d, messages %d vs %d",
+			ss.TotalMisses(), ps.TotalMisses(), ss.TotalMessages(), ps.TotalMessages())
+	}
+	for i := range ss.Procs {
+		if ss.Procs[i].TimeBy != ps.Procs[i].TimeBy {
+			t.Errorf("proc %d time breakdown diverged", i)
+		}
+	}
+}
+
+// TestMigrateChainReturns drives a block's traffic back and forth between
+// two nodes so it migrates more than once, exercising the tombstone-chain
+// and re-home paths (a processor that becomes home again must drop its own
+// tombstone) plus the hysteresis doubling.
+func TestMigrateChainReturns(t *testing.T) {
+	s := migSystem(8, 1, false)
+	a := s.AllocPlaced(64, 64, 0)
+	s.Run(func(p *Proc) {
+		// Phase 1: node 1 hammers -> migrate 0 -> 4.
+		for i := 0; i < 48; i++ {
+			if p.ID() == 4 && i%2 == 0 {
+				p.StoreU64(a, 1)
+			}
+			if p.ID() == 5 && i%2 == 1 {
+				p.StoreU64(a, 2)
+			}
+			p.Barrier()
+		}
+		// Phase 2: node 0 hammers -> migrate back (threshold doubled).
+		for i := 0; i < 96; i++ {
+			if p.ID() == 0 && i%2 == 0 {
+				p.StoreU64(a, 3)
+			}
+			if p.ID() == 1 && i%2 == 1 {
+				p.StoreU64(a, 4)
+			}
+			p.Barrier()
+		}
+	})
+	migs, fwds := migTotals(s)
+	if migs < 2 {
+		t.Errorf("want >= 2 migrations (there and back), got %d", migs)
+	}
+	base := s.lay.LineOf(a)
+	if h := s.HomeOf(base); h/4 != 0 {
+		t.Errorf("live home = p%d, want back on node 0", h)
+	}
+	t.Logf("migrations=%d forwards=%d", migs, fwds)
+	checkInvariants(t, s)
+}
+
+// TestMigrateEpochAdvances checks the layout's migration epoch moves with
+// each installation, giving observers a cheap staleness fence.
+func TestMigrateEpochAdvances(t *testing.T) {
+	s := migSystem(8, 1, false)
+	a := skewedWriters(s, 48)
+	base := s.lay.LineOf(a)
+	migs, _ := migTotals(s)
+	if ep := s.lay.MigEpoch(base); int64(ep) != migs {
+		t.Errorf("migration epoch %d != migrations %d", ep, migs)
+	}
+}
+
+// TestMigrateDeterministicRepeat runs the litmus twice in the same process
+// and requires identical cycle counts and counters (no map-iteration or
+// allocation-order leakage into decisions).
+func TestMigrateDeterministicRepeat(t *testing.T) {
+	run := func() string {
+		s := migSystem(12, 1, false)
+		a := s.AllocPlaced(64, 64, 0)
+		finish := s.Run(func(p *Proc) {
+			switch p.ID() {
+			case 4, 5:
+				for i := 0; i < 64; i++ {
+					if i%2 == p.ID()%2 {
+						p.StoreU64(a, uint64(i+1))
+					}
+					p.Compute(200)
+				}
+			case 8:
+				for i := 0; i < 64; i++ {
+					_ = p.LoadU64(a)
+					p.Compute(150)
+				}
+			}
+			p.Barrier()
+		})
+		migs, fwds := migTotals(s)
+		return fmt.Sprintf("%d/%d/%d/%d/%d", finish, migs, fwds,
+			s.Stats().TotalMisses(), s.Stats().TotalMessages())
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic migration: %s vs %s", a, b)
+	}
+}

@@ -148,6 +148,29 @@ type Config struct {
 	// (Section 5). Used as an ablation to quantify what the private
 	// state tables save.
 	BroadcastDowngrades bool
+	// Migrate enables online home migration: every home keeps a
+	// hop-weighted miss model per block (the same cost model as the
+	// offline advisor, internal/obsv adviseHome) and, when another node
+	// would serve the observed traffic more cheaply by more than
+	// MigrateThreshold cycles, transfers the directory entry to the first
+	// processor of that node. In-flight requests addressed to the old
+	// home are forwarded along a tombstone; requesters learn the new home
+	// from a hint piggybacked on replies. Decisions derive only from
+	// virtual-time-ordered handler state, so serial and parallel runs
+	// migrate identically. No-op under Hardware; incompatible with
+	// ShareDirectory (a group reading the directory in place cannot
+	// observe a re-home).
+	Migrate bool
+	// MigrateInterval is the number of home requests per block between
+	// migration evaluations (default 16). Smaller reacts faster but
+	// decides on noisier windows.
+	MigrateInterval int
+	// MigrateThreshold is the minimum estimated saving, in hop-weighted
+	// cycles per evaluation window, before a migration triggers (default
+	// 600, one local leg). Each completed migration of a block doubles
+	// its effective threshold (up to 64x) — hysteresis against ping-pong
+	// re-homing of genuinely shared blocks.
+	MigrateThreshold int64
 	// MaxOutstanding is the per-processor limit on outstanding store
 	// misses before the processor stalls (write time).
 	MaxOutstanding int
@@ -178,6 +201,12 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.MaxOutstanding == 0 {
 		c.MaxOutstanding = 4
+	}
+	if c.MigrateInterval == 0 {
+		c.MigrateInterval = 16
+	}
+	if c.MigrateThreshold == 0 {
+		c.MigrateThreshold = 600
 	}
 	if c.Net == (memchan.Params{}) {
 		c.Net = memchan.DefaultParams()
@@ -211,6 +240,10 @@ func (c Config) Validate() error {
 	if c.NumProcs > c.Clustering && c.NumProcs%c.Clustering != 0 {
 		return fmt.Errorf("protocol: %d processors not divisible into groups of %d",
 			c.NumProcs, c.Clustering)
+	}
+	if c.Migrate && c.ShareDirectory {
+		return fmt.Errorf("protocol: Migrate is incompatible with ShareDirectory" +
+			" (in-place directory access cannot observe a re-home)")
 	}
 	return nil
 }

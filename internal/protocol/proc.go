@@ -26,6 +26,16 @@ type Proc struct {
 	// dir holds directory entries for blocks homed at this processor.
 	dir map[int]*dirEntry
 
+	// migrated holds tombstones for blocks whose directory this
+	// processor handed away by online migration, keyed by base line.
+	// Until the new home acknowledges installation, requests queue on
+	// the tombstone; afterwards they forward. Allocated lazily.
+	migrated map[int]*migRec
+	// migSeq numbers this processor's outgoing migrations; echoed in the
+	// acknowledgement so a stale ack (from before a block re-homed back
+	// here and away again) is recognized and ignored.
+	migSeq int
+
 	// outstandingStores counts this processor's incomplete store-miss
 	// entries, bounded by Config.MaxOutstanding.
 	outstandingStores int
@@ -333,7 +343,7 @@ func (p *Proc) loadMiss(addr memory.Addr, size int) uint64 {
 		case memory.Invalid:
 			entry := p.newMissEntry(base, stats.ReadMiss, mask, 0, false)
 			p.grp.img.SetBlockState(base, memory.PendingRead)
-			home := p.sys.homeProc(addr)
+			home := p.homeOf(base)
 			p.sendHome(home, &pmsg{kind: mReadReq, baseLine: base, requester: p.id,
 				issueTime: p.sp.Now()}, stats.Read)
 			p.unlockBlock(base)
@@ -470,7 +480,7 @@ func (p *Proc) storeMiss(addr memory.Addr, size int, v uint64) {
 			entry.stores = append(entry.stores, storeRec{addr: addr, size: size, val: v, proc: p.id})
 			entry.wantExcl = true
 			p.grp.img.SetBlockState(base, memory.PendingExcl)
-			home := p.sys.homeProc(addr)
+			home := p.homeOf(base)
 			p.sendHome(home, &pmsg{kind: mUpgradeReq, baseLine: base, requester: p.id,
 				issueTime: p.sp.Now()}, stats.Other)
 			p.unlockBlock(base)
@@ -489,7 +499,7 @@ func (p *Proc) storeMiss(addr memory.Addr, size int, v uint64) {
 			entry.stores = append(entry.stores, storeRec{addr: addr, size: size, val: v, proc: p.id})
 			entry.wantExcl = true
 			p.grp.img.SetBlockState(base, memory.PendingExcl)
-			home := p.sys.homeProc(addr)
+			home := p.homeOf(base)
 			p.sendHome(home, &pmsg{kind: mReadExclReq, baseLine: base, requester: p.id,
 				issueTime: p.sp.Now()}, stats.Other)
 			p.unlockBlock(base)

@@ -28,6 +28,15 @@ type System struct {
 	numLocks   int
 	numBarrier int
 
+	// liveHome[b] (indexed by block base line, allocated only under
+	// Migrate) is the block's current home after online migration, or -1
+	// while it still lives at the configured pageHome. Written only by a
+	// block's new home inside the migration handshake — successive writes
+	// to one block are ordered by the handshake's happens-before chain,
+	// and distinct blocks use distinct slots — and read by observability
+	// code after the run.
+	liveHome []int32
+
 	// startTime and endTime bound the measured parallel phase, so the
 	// reported parallel time excludes initialization and verification.
 	startTime, endTime int64
@@ -82,6 +91,12 @@ type group struct {
 	// (new accesses must start fresh requests) but releases still wait
 	// for them and arriving acks are credited to them in FIFO order.
 	detached map[int][]*missEntry
+	// homeView (online migration only) is the group's learned view of
+	// re-homed blocks, keyed by block base line: requests go to the
+	// viewed home instead of the configured one. Updated from the home
+	// hints on replies and invalidations; absent means the configured
+	// home (which forwards along its tombstone if the view is stale).
+	homeView map[int]int
 }
 
 // missEntry records an outstanding request for a block, shared by the
@@ -154,6 +169,11 @@ type dirEntry struct {
 	// upgrade would lose them. The owner clears the bit with a
 	// SharingUpdate message when a read downgrades it to shared.
 	dirty bool
+	// mig (online migration only) is the home's incremental per-node
+	// miss model for the block; nil until the first counted request, and
+	// for blocks excluded from migration. It travels with the directory
+	// entry's moved count on a re-home (see migPayload).
+	mig *migModel
 }
 
 // New builds a system for the configuration. It panics on an invalid
@@ -177,6 +197,12 @@ func New(cfg Config) *System {
 	}
 	s.pageHome = make([]int16, cfg.HeapBytes/memory.PageSize)
 	s.statBase = make([]stats.Proc, cfg.NumProcs)
+	if cfg.Migrate && !cfg.Hardware {
+		s.liveHome = make([]int32, s.lay.NumLines())
+		for i := range s.liveHome {
+			s.liveHome[i] = -1
+		}
+	}
 
 	groupSize := cfg.Clustering
 	if cfg.Hardware {
@@ -194,6 +220,9 @@ func New(cfg Config) *System {
 			batchMarks: make(map[int]int),
 			copySeq:    make(map[int]int64),
 			detached:   make(map[int][]*missEntry),
+		}
+		if cfg.Migrate && !cfg.Hardware {
+			g.homeView = make(map[int]int)
 		}
 		for m := gi * groupSize; m < (gi+1)*groupSize && m < cfg.NumProcs; m++ {
 			g.members = append(g.members, m)
@@ -301,7 +330,14 @@ func (s *System) NumProcs() int { return s.cfg.NumProcs }
 
 // HomeOf returns the home processor of the block with the given base line,
 // for observability code that relates per-block activity to placement.
+// Under online migration this is the live home, reflecting completed
+// re-homes.
 func (s *System) HomeOf(baseLine int) int {
+	if s.liveHome != nil {
+		if h := s.liveHome[baseLine]; h >= 0 {
+			return int(h)
+		}
+	}
 	return s.homeProc(s.lay.LineAddr(baseLine))
 }
 
@@ -350,6 +386,15 @@ func (s *System) AllocPlaced(size int64, blockSize int, home int) memory.Addr {
 	return s.AllocHomed(size, blockSize, func(int64) int { return home })
 }
 
+// AllocPinned allocates like Alloc but pins every block to its configured
+// home: online home migration never moves it. Use for data whose placement
+// the application already optimized by hand.
+func (s *System) AllocPinned(size int64, blockSize int) memory.Addr {
+	addr := s.Alloc(size, blockSize)
+	s.lay.SetMigratable(addr, size, false)
+	return addr
+}
+
 // AllocHomed allocates with homes chosen per page by the callback, which
 // receives the page-aligned offset from the start of the allocation.
 func (s *System) AllocHomed(size int64, blockSize int, home func(off int64) int) memory.Addr {
@@ -374,6 +419,9 @@ func (s *System) AllocHomed(size int64, blockSize int, home func(off int64) int)
 		}
 		s.pageHome[pg] = int16(h)
 	}
+	// Allocations are migration candidates by default; AllocPinned opts
+	// out after the fact.
+	s.lay.SetMigratable(addr, size, true)
 	// Initialize ownership: each block starts exclusive (zero-filled) at
 	// its home processor's group.
 	for li := s.lay.LineOf(addr); li < s.lay.LineOf(endAddr-1)+1; {
@@ -433,6 +481,21 @@ func (s *System) Run(body func(*Proc)) int64 {
 // group may (accesses are serialized by the group's line locks).
 func (p *Proc) getDir(baseLine int) *dirEntry {
 	home := p.sys.homeProc(p.sys.lay.LineAddr(baseLine))
+	if p.sys.cfg.Migrate {
+		// Under online migration the entry may live away from the
+		// configured home. Whoever holds it is the live home; the
+		// configured home may lazily create it only while it has not
+		// migrated the block away (no tombstone).
+		if de, ok := p.dir[baseLine]; ok {
+			return de
+		}
+		if home != p.id || p.migrated[baseLine] != nil {
+			panic(fmt.Sprintf("protocol: proc %d consulted directory for migrated block %d", p.id, baseLine))
+		}
+		de := &dirEntry{owner: home, sharers: bit(home), dirty: true}
+		p.dir[baseLine] = de
+		return de
+	}
 	holder := p
 	if home != p.id {
 		hp := p.sys.procs[home]
@@ -482,6 +545,14 @@ func (s *System) CheckQuiescent() error {
 		}
 		if p.holdingLock >= 0 {
 			return fmt.Errorf("proc %d: still holds line lock %d", p.id, p.holdingLock)
+		}
+		for base, rec := range p.migrated {
+			if !rec.acked {
+				return fmt.Errorf("proc %d: migration of block %d never acknowledged", p.id, base)
+			}
+			if n := len(rec.queued); n != 0 {
+				return fmt.Errorf("proc %d: %d requests still queued behind migration of block %d", p.id, n, base)
+			}
 		}
 	}
 	return nil

@@ -38,9 +38,17 @@ const TraceSchemaVersion = 1
 //	            requester, absolute arrival cycle, and the link-queue /
 //	            wire / serialization split (compatible v1 extension; the
 //	            span layer's transit evidence, see OBSERVABILITY.md §10)
+//	migrate     an online home-migration event: at the old home, the
+//	            decision to re-home a block (with the cost-model evidence
+//	            that triggered it); at the new home, the installation of
+//	            the transferred directory entry (compatible v1 extension,
+//	            see OBSERVABILITY.md §11)
+//	migfwd      a home-bound message relayed along a migration tombstone
+//	            at a previous home toward the block's live home
+//	            (compatible v1 extension)
 var TraceOps = []string{
 	"send", "handle", "miss", "downgrade", "install", "invalidate",
-	"sync", "batch", "privup", "touch", "xmit",
+	"sync", "batch", "privup", "touch", "xmit", "migrate", "migfwd",
 }
 
 // TraceEvent is one protocol-level event, emitted to a Tracer attached to

@@ -1,0 +1,130 @@
+package sim
+
+// Tests for the serial scheduler's ready heap: ordering (including the
+// linear scan's lowest-ID tie-break), staleness handling, steady-state
+// allocation behaviour, and a benchmark quantifying the O(P) -> O(log P)
+// scheduling-step change at high processor counts.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestReadyHeapOrder pins the heap's ordering contract: keys pop in
+// (time, processor ID) order, so equal-time processors run lowest-ID first —
+// exactly the tie-break of the linear scan the heap replaced.
+func TestReadyHeapOrder(t *testing.T) {
+	e := NewEngine(8)
+	// All processors ready at time 0 (the runSerial initial fill), but push
+	// in reverse ID order with a mix of times to exercise sifting.
+	times := []int64{40, 10, 40, 0, 10, 0, 40, 0}
+	for id := 7; id >= 0; id-- {
+		e.procs[id].now = times[id]
+		e.pqPush(times[id], id)
+	}
+	var got []string
+	for {
+		top, ok := e.pqTopValid()
+		if !ok {
+			break
+		}
+		e.pqPop()
+		got = append(got, fmt.Sprintf("%d/%d", top.t, top.id))
+		e.procs[top.id].state = stateDone // invalidate any duplicate entries
+	}
+	want := "[0/3 0/5 0/7 10/1 10/4 40/0 40/2 40/6]"
+	if fmt.Sprint(got) != want {
+		t.Fatalf("pop order %v, want %v", got, want)
+	}
+}
+
+// TestReadyHeapDiscardsStaleEntries verifies lazy invalidation: an entry
+// whose processor's next-run time moved on (or which can no longer run) is
+// skipped, never returned.
+func TestReadyHeapDiscardsStaleEntries(t *testing.T) {
+	e := NewEngine(3)
+	e.pqPush(5, 0)  // stale: proc 0's clock will have moved to 20
+	e.pqPush(10, 1) // stale: proc 1 will be blocked with an empty inbox
+	e.pqPush(20, 0) // live
+	e.pqPush(30, 2) // live, but behind proc 0
+	e.procs[0].now = 20
+	e.procs[1].state = stateBlocked
+	e.procs[2].now = 30
+	top, ok := e.pqTopValid()
+	if !ok || top.t != 20 || top.id != 0 {
+		t.Fatalf("top = %+v ok=%v, want {20 0} true", top, ok)
+	}
+	if len(e.readyPQ) != 2 {
+		t.Fatalf("stale entries not discarded: heap has %d entries, want 2", len(e.readyPQ))
+	}
+}
+
+// TestReadyHeapSteadyStateNoAllocs pins the allocation behaviour of the
+// scheduling step: once the heap buffer has grown to the run's working set,
+// pushing and consuming keys allocates nothing. Every yield of every
+// processor goes through this path, so a per-step allocation would be a
+// scheduler-wide regression.
+func TestReadyHeapSteadyStateNoAllocs(t *testing.T) {
+	const n = 64
+	e := NewEngine(n)
+	for i, p := range e.procs {
+		p.now = int64(i)
+	}
+	// Warm: grow readyPQ to the working set once.
+	for i := 0; i < n; i++ {
+		e.pqPush(int64(i), i)
+	}
+	for range e.procs {
+		e.pqPop()
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		for i := 0; i < n; i++ {
+			e.pqPush(int64(i), i)
+		}
+		for i := 0; i < n; i++ {
+			top, ok := e.pqTopValid()
+			if !ok || top.id != i {
+				t.Fatalf("pop %d: got %+v ok=%v", i, top, ok)
+			}
+			e.pqPop()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ready heap allocates %.1f objects per scheduling round, want 0", allocs)
+	}
+}
+
+// benchSerialPingPong runs a message-heavy program under the serial
+// scheduler: every processor ping-pongs with a partner for rounds
+// exchanges. Each receive is one blocked->running transition, i.e. one full
+// scheduling step (pickNext + horizonFor), so the benchmark isolates
+// scheduler overhead; the former linear scans made each step O(P).
+func benchSerialPingPong(b *testing.B, procs, rounds int) {
+	b.ReportAllocs()
+	e := NewEngine(procs)
+	st := stats.NewRun(procs)
+	for i := 0; i < procs; i++ {
+		e.Proc(i).Stats = &st.Procs[i]
+	}
+	body := func(p *Proc) {
+		partner := p.ID ^ 1
+		for r := 0; r < rounds; r++ {
+			if p.ID&1 == 0 {
+				p.Send(partner, 10, r)
+				p.WaitRecv(stats.Other, "pong")
+			} else {
+				p.WaitRecv(stats.Other, "ping")
+				p.Send(partner, 10, r)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Run(body)
+	}
+}
+
+func BenchmarkSerialScheduler64(b *testing.B)  { benchSerialPingPong(b, 64, 200) }
+func BenchmarkSerialScheduler256(b *testing.B) { benchSerialPingPong(b, 256, 200) }

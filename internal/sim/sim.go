@@ -237,6 +237,16 @@ func (p *Proc) post(dst int, arrival int64, payload any) {
 func (p *Proc) enqueue(m Message) {
 	heap.Push(&p.inbox, m)
 	p.depthPend = append(p.depthPend, depthEvent{time: m.sendTime})
+	// A blocked processor's next-run time is its earliest pending arrival,
+	// which this message may have just established or lowered: give the
+	// serial scheduler's ready heap a fresh key. (Ready processors run at
+	// their own clock regardless of mail, and a running one re-keys at its
+	// yield, so only the blocked state needs the push.)
+	if p.eng.pqActive && p.state == stateBlocked {
+		if t, ok := p.eng.nextTime(p); ok {
+			p.eng.pqPush(t, p.ID)
+		}
+	}
 }
 
 // popInbox removes the earliest deliverable message and records the
@@ -491,6 +501,78 @@ type Engine struct {
 	activeBuf   []int
 	emitHeap    []int
 	windowCount int64
+	// readyPQ is the serial scheduler's (next-run time, processor ID)
+	// min-heap; pqActive gates the enqueue-side key pushes to runSerial
+	// (the window scheduler keeps its own per-domain schedule). Entries are
+	// lazily invalidated — a processor whose key changes gets a fresh entry
+	// rather than an in-place update, and consumers discard entries that no
+	// longer match the processor's live next-run time.
+	readyPQ  []schedEntry
+	pqActive bool
+}
+
+// schedEntry is one key of the serial scheduler's ready heap. Ordering is
+// (time, processor ID), which reproduces the linear scan's tie-break: among
+// processors runnable at the same virtual time, the lowest ID runs first.
+type schedEntry struct {
+	t  int64
+	id int
+}
+
+func pqLess(a, b schedEntry) bool {
+	return a.t < b.t || (a.t == b.t && a.id < b.id)
+}
+
+// pqPush inserts a key, sifting up.
+func (e *Engine) pqPush(t int64, id int) {
+	e.readyPQ = append(e.readyPQ, schedEntry{t, id})
+	i := len(e.readyPQ) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !pqLess(e.readyPQ[i], e.readyPQ[parent]) {
+			break
+		}
+		e.readyPQ[i], e.readyPQ[parent] = e.readyPQ[parent], e.readyPQ[i]
+		i = parent
+	}
+}
+
+// pqPop removes the minimum key, sifting down.
+func (e *Engine) pqPop() {
+	n := len(e.readyPQ) - 1
+	e.readyPQ[0] = e.readyPQ[n]
+	e.readyPQ = e.readyPQ[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && pqLess(e.readyPQ[l], e.readyPQ[s]) {
+			s = l
+		}
+		if r < n && pqLess(e.readyPQ[r], e.readyPQ[s]) {
+			s = r
+		}
+		if s == i {
+			return
+		}
+		e.readyPQ[i], e.readyPQ[s] = e.readyPQ[s], e.readyPQ[i]
+		i = s
+	}
+}
+
+// pqTopValid discards stale heap entries until the top one matches its
+// processor's live next-run time, and returns it. Because every runnable
+// processor always holds at least one live entry (pushed when its key was
+// established), an empty result means no processor can run.
+func (e *Engine) pqTopValid() (schedEntry, bool) {
+	for len(e.readyPQ) > 0 {
+		top := e.readyPQ[0]
+		if t, ok := e.nextTime(e.procs[top.id]); ok && t == top.t {
+			return top, true
+		}
+		e.pqPop()
+	}
+	return schedEntry{}, false
 }
 
 // NewEngine creates an engine with n processor contexts. Statistics
@@ -584,6 +666,7 @@ func (e *Engine) resetRun(body func(*Proc)) {
 	e.windowCount = 0
 	e.emitHeap = e.emitHeap[:0]
 	e.activeBuf = e.activeBuf[:0]
+	e.readyPQ = e.readyPQ[:0]
 	for _, p := range e.procs {
 		p.body = body
 		p.state = stateReady
@@ -653,10 +736,19 @@ func (e *Engine) checkPanic() {
 }
 
 // runSerial is the cooperative scheduler: always resume the runnable
-// processor with the smallest virtual time.
+// processor with the smallest virtual time. The schedule is driven by the
+// ready heap: O(log P) per scheduling step instead of the former O(P)
+// linear scans in pickNext and horizonFor.
 func (e *Engine) runSerial() int64 {
 	var maxFinish int64
 	var lastFloor int64 = -1
+	e.pqActive = true
+	defer func() { e.pqActive = false }()
+	for _, p := range e.procs {
+		if t, ok := e.nextTime(p); ok {
+			e.pqPush(t, p.ID)
+		}
+	}
 	remaining := len(e.procs)
 	for remaining > 0 {
 		next, bestT := e.pickNext()
@@ -697,6 +789,9 @@ func (e *Engine) runSerial() int64 {
 				maxFinish = next.now
 			}
 		}
+		if t, ok := e.nextTime(next); ok {
+			e.pqPush(t, next.ID)
+		}
 	}
 	return maxFinish
 }
@@ -720,30 +815,28 @@ func (e *Engine) nextTime(p *Proc) (int64, bool) {
 	}
 }
 
+// pickNext returns the runnable processor with the smallest (time, ID) key
+// and consumes its heap entry; the processor re-enters the heap when it
+// yields. Returns nil when no processor can run (deadlock).
 func (e *Engine) pickNext() (*Proc, int64) {
-	var best *Proc
-	var bestT int64 = math.MaxInt64
-	for _, p := range e.procs {
-		if t, ok := e.nextTime(p); ok && t < bestT {
-			best, bestT = p, t
-		}
+	top, ok := e.pqTopValid()
+	if !ok {
+		return nil, 0
 	}
-	return best, bestT
+	e.pqPop()
+	return e.procs[top.id], top.t
 }
 
 // horizonFor computes how far p may run before control must return to the
 // scheduler: the earliest next-run time among all other processors, capped
 // at the earliest pending fence cut so the fence resolves before anything
-// at or past its cut runs.
+// at or past its cut runs. The caller has already marked p running and
+// consumed its heap entry, so p's remaining (duplicate) entries fail the
+// validity check and the heap top is exactly the other-processor minimum.
 func (e *Engine) horizonFor(p *Proc) int64 {
 	var h int64 = math.MaxInt64
-	for _, q := range e.procs {
-		if q == p {
-			continue
-		}
-		if t, ok := e.nextTime(q); ok && t < h {
-			h = t
-		}
+	if top, ok := e.pqTopValid(); ok {
+		h = top.t
 	}
 	if c, ok := e.minFenceCut(); ok && c < h {
 		h = c

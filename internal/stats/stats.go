@@ -222,6 +222,14 @@ type Proc struct {
 	LockHoldCycles int64
 	LockAcquires   int64
 
+	// Migrations counts online home migrations this processor decided as
+	// the old home (each hands a block's directory entry to a new home),
+	// and MigForwards the home-bound messages it relayed along migration
+	// tombstones toward a block's live home. Both stay zero unless the
+	// protocol's Migrate option is enabled.
+	Migrations  int64
+	MigForwards int64
+
 	// DowngradeCycles is the virtual time this processor spent on intra-
 	// group downgrades: handling downgrade messages plus stalling on a
 	// downgrade already in progress. It is a memo sub-component — the same
@@ -284,6 +292,10 @@ type BlockStat struct {
 	Downgrades    int64
 	DowngradeMsgs int64
 
+	// Migrations counts online home migrations of the block this
+	// processor decided as its (old) home.
+	Migrations int64
+
 	// ReadMask and WriteMask record which of the block's sub-block slots
 	// (see BlockSlots) this processor's missing loads and stores touched.
 	// The masks grow monotonically by bitwise OR, which is commutative, so
@@ -312,7 +324,7 @@ func (b *BlockStat) countsZero() bool {
 		}
 	}
 	return b.InvalsRecv == 0 && b.InvalsSent == 0 &&
-		b.Downgrades == 0 && b.DowngradeMsgs == 0
+		b.Downgrades == 0 && b.DowngradeMsgs == 0 && b.Migrations == 0
 }
 
 // Block returns the per-block shard for the block with the given base line,
@@ -698,6 +710,8 @@ func (p *Proc) Sub(base *Proc) {
 	p.HandlerEvents -= base.HandlerEvents
 	p.LockHoldCycles -= base.LockHoldCycles
 	p.LockAcquires -= base.LockAcquires
+	p.Migrations -= base.Migrations
+	p.MigForwards -= base.MigForwards
 	p.DowngradeCycles -= base.DowngradeCycles
 	for k := range p.MissLatency {
 		for d := range p.MissLatency[k] {
@@ -724,6 +738,7 @@ func (p *Proc) Sub(base *Proc) {
 			b.InvalsSent -= bb.InvalsSent
 			b.Downgrades -= bb.Downgrades
 			b.DowngradeMsgs -= bb.DowngradeMsgs
+			b.Migrations -= bb.Migrations
 		}
 		if b.countsZero() && b.ReadMask == 0 && b.WriteMask == 0 {
 			delete(p.Blocks, blk)

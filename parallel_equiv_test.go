@@ -118,6 +118,44 @@ func TestParallelSchedulerBitIdentical(t *testing.T) {
 	}
 }
 
+// TestParallelSchedulerBitIdenticalMigrate enforces the bit-identity
+// contract with online home migration enabled: migration decisions derive
+// only from virtual-time-ordered directory state and every handshake or
+// tombstone forward crosses SMP nodes (so it pays at least the lookahead
+// latency), which must make serial and parallel runs — including the
+// migrate/migfwd trace events and the migration counters — byte-identical.
+func TestParallelSchedulerBitIdenticalMigrate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all nine applications twice")
+	}
+	for _, app := range apps.Names {
+		t.Run(app, func(t *testing.T) {
+			cfg := shasta.Config{Procs: 8, Clustering: 4, Migrate: true}
+			sTrace, sMetrics, sSpans, sCycles, sSum := observedRun(t, app, cfg)
+			cfg.Parallel = true
+			pTrace, pMetrics, pSpans, pCycles, pSum := observedRun(t, app, cfg)
+			if sCycles != pCycles {
+				t.Errorf("cycles differ: serial %d, parallel %d", sCycles, pCycles)
+			}
+			if sSum != pSum {
+				t.Errorf("checksums differ: serial %v, parallel %v", sSum, pSum)
+			}
+			if !bytes.Equal(sMetrics, pMetrics) {
+				t.Errorf("metrics JSON differs (%d vs %d bytes); first divergence:\n%s",
+					len(sMetrics), len(pMetrics), firstDiffContext(sMetrics, pMetrics))
+			}
+			if !bytes.Equal(sTrace, pTrace) {
+				t.Errorf("trace bytes differ (%d vs %d bytes); first divergence:\n%s",
+					len(sTrace), len(pTrace), firstDiffContext(sTrace, pTrace))
+			}
+			if sSpans != pSpans {
+				t.Errorf("span report differs; first divergence:\n%s",
+					firstDiffContext([]byte(sSpans), []byte(pSpans)))
+			}
+		})
+	}
+}
+
 // TestParallelSchedulerBitIdenticalAtScale enforces the same contract at 64
 // processors on a hierarchical topology (16 four-processor nodes in 4
 // uplink groups): the serial scheduler, the parallel scheduler with fixed
@@ -131,14 +169,23 @@ func TestParallelSchedulerBitIdenticalAtScale(t *testing.T) {
 	}
 	base := shasta.Config{Procs: 64, Clustering: 4, NodesPerGroup: 4, HeapBytes: 4 << 20}
 	sTrace, sMetrics, sSpans, sCycles, sSum := observedRun(t, "LU", base)
+	mTrace, mMetrics, mSpans, mCycles, mSum := observedRun(t, "LU",
+		shasta.Config{Procs: 64, Clustering: 4, NodesPerGroup: 4, HeapBytes: 4 << 20, Migrate: true})
 	for _, mode := range []struct {
-		name  string
-		fixed bool
-	}{{"fixed-windows", true}, {"adaptive-windows", false}} {
+		name    string
+		fixed   bool
+		migrate bool
+	}{{"fixed-windows", true, false}, {"adaptive-windows", false, false},
+		{"migrate", false, true}} {
 		t.Run(mode.name, func(t *testing.T) {
+			sTrace, sMetrics, sSpans, sCycles, sSum := sTrace, sMetrics, sSpans, sCycles, sSum
+			if mode.migrate {
+				sTrace, sMetrics, sSpans, sCycles, sSum = mTrace, mMetrics, mSpans, mCycles, mSum
+			}
 			cfg := base
 			cfg.Parallel = true
 			cfg.FixedWindows = mode.fixed
+			cfg.Migrate = mode.migrate
 			pTrace, pMetrics, pSpans, pCycles, pSum := observedRun(t, "LU", cfg)
 			if sCycles != pCycles {
 				t.Errorf("cycles differ: serial %d, parallel %d", sCycles, pCycles)

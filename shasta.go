@@ -194,6 +194,24 @@ type Config struct {
 	// state tables show they accessed the block — the SoftFLASH TLB
 	// shootdown behaviour, as an ablation of the private state tables.
 	BroadcastDowngrades bool
+	// Migrate enables online home migration: each block's home maintains
+	// an incremental hop-weighted miss model (the same cost model as the
+	// offline placement advisor, see OBSERVABILITY.md §11) and hands the
+	// block's directory entry to a better-placed processor when the
+	// modelled savings exceed a threshold with hysteresis. Results remain
+	// deterministic and serial/parallel bit-identical. Incompatible with
+	// ShareDirectory.
+	Migrate bool
+	// MigrateInterval is the number of home requests per block between
+	// migration evaluations; 0 selects the protocol default (16). Lower
+	// values react faster to placement skew at the price of more frequent
+	// model evaluations.
+	MigrateInterval int
+	// MigrateThreshold is the minimum modelled per-write saving, in
+	// hop-weighted cycles, required to trigger a hand-off; 0 selects the
+	// protocol default (600, one node-local leg). Each completed migration
+	// of a block doubles its effective threshold (hysteresis).
+	MigrateThreshold int64
 	// Parallel runs the simulation on the engine's conservative
 	// window-based parallel scheduler: the processors of different SMP
 	// nodes execute concurrently on real cores. Every result — cycles,
@@ -247,6 +265,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		ShareDirectory:      cfg.ShareDirectory,
 		FastSync:            cfg.FastSync,
 		BroadcastDowngrades: cfg.BroadcastDowngrades,
+		Migrate:             cfg.Migrate,
+		MigrateInterval:     cfg.MigrateInterval,
+		MigrateThreshold:    cfg.MigrateThreshold,
 		Parallel:            cfg.Parallel,
 		FixedWindows:        cfg.FixedWindows,
 		WindowCap:           cfg.WindowCap,
@@ -285,6 +306,13 @@ func (c *Cluster) AllocPlaced(size int64, blockSize, home int) Addr {
 // receives the page-aligned byte offset from the start of the allocation.
 func (c *Cluster) AllocHomed(size int64, blockSize int, home func(off int64) int) Addr {
 	return c.sys.AllocHomed(size, blockSize, home)
+}
+
+// AllocPinned is Alloc with every block pinned to its configured home:
+// online home migration (Config.Migrate) never moves it. Use for data whose
+// placement the application already optimized by hand.
+func (c *Cluster) AllocPinned(size int64, blockSize int) Addr {
+	return c.sys.AllocPinned(size, blockSize)
 }
 
 // AllocLock creates an application lock and returns its identifier.
