@@ -1,4 +1,5 @@
-# Tier-1 gate (see ROADMAP.md): vet + full build + race-mode tests of the
+# Tier-1 gate (see ROADMAP.md): gofmt cleanliness + vet + full build +
+# race-mode tests of the
 # engine and protocol core — once under the default scheduler and once with
 # SIM_FORCE_PARALLEL=1, which reruns the sim suite on the window-based
 # parallel scheduler with per-processor conflict domains (the most
@@ -10,6 +11,8 @@
 .PHONY: check test bench bench-compare gobench
 
 check:
+	@unformatted=$$(gofmt -l . 2>/dev/null); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	go vet ./...
 	go build ./...
 	go test -race ./internal/protocol/ ./internal/sim/

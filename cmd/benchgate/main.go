@@ -63,5 +63,9 @@ func main() {
 	if len(cmp.Diverged)+len(cmp.Regressed) > 0 {
 		os.Exit(1)
 	}
-	fmt.Println("PASS")
+	// Name the normalization in the pass verdict: a reviewer reading CI
+	// logs can see how much host-speed correction the gate applied.
+	fmt.Printf("PASS (calibration factor %.2fx: old host %.1fms, new host %.1fms)\n",
+		float64(new.CalibrationNs)/float64(old.CalibrationNs),
+		float64(old.CalibrationNs)/1e6, float64(new.CalibrationNs)/1e6)
 }

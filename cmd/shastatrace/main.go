@@ -16,6 +16,8 @@
 //	shastatrace check <trace.jsonl>...
 //	shastatrace races <trace.jsonl>...
 //	shastatrace migrations <trace.jsonl>...
+//	shastatrace sync [-top K] <trace.jsonl>...
+//	shastatrace skew <trace.jsonl>...
 //	shastatrace blocks [-n N] <metrics.json>
 //	shastatrace falseshare <metrics.json>
 //	shastatrace advise <metrics.json>
@@ -67,6 +69,12 @@ trace analysis (one or more trace.jsonl segments, concatenated in order):
                                   trace's accesses and synchronization edges
   migrations <trace.jsonl>...     online home-migration activity: hand-off and
                                   forward totals, per-block home chains
+  sync [-top K] <trace.jsonl>...  per-lock/barrier contention: wait and hold
+                                  distributions, top-K contended locks with
+                                  hand-off chains, wait-for summary,
+                                  critical-path share per primitive
+  skew <trace.jsonl>...           per-generation barrier arrival and departure
+                                  skew with straggler attribution
 
 profiles (metrics.json exact, or approximated from a bare trace):
   breakdown <file>...             per-processor execution-time profile
@@ -495,6 +503,44 @@ func cmdMigrations(args []string, stdout io.Writer) (int, error) {
 	return 0, nil
 }
 
+// cmdSync renders the synchronization contention report: per-primitive wait
+// and hold distributions, the most contended locks with their ownership
+// hand-off chains, the cycle-weighted wait-for summary, and each primitive's
+// critical-path share (see OBSERVABILITY.md §12). Gapped or pre-extension
+// traces degrade into dropped-lifecycle accounting, so the command always
+// exits 0 on a readable trace.
+func cmdSync(args []string, stdout, stderr io.Writer) (int, error) {
+	fs := flag.NewFlagSet("sync", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	top := fs.Int("top", 5, "number of most contended locks to show with hand-off chains (0 = none)")
+	if err := fs.Parse(args); err != nil {
+		return 2, usageError{err.Error()}
+	}
+	if fs.NArg() == 0 {
+		return 2, usageError{"sync needs at least one trace file"}
+	}
+	events, err := readTraces(fs.Args())
+	if err != nil {
+		return 2, err
+	}
+	fmt.Fprint(stdout, obsv.FormatSync(obsv.BuildSync(events), *top))
+	return 0, nil
+}
+
+// cmdSkew renders the barrier observatory: per-generation arrival and
+// departure skew with straggler attribution.
+func cmdSkew(args []string, stdout io.Writer) (int, error) {
+	if len(args) == 0 {
+		return 2, usageError{"skew needs at least one trace file"}
+	}
+	events, err := readTraces(args)
+	if err != nil {
+		return 2, err
+	}
+	fmt.Fprint(stdout, obsv.FormatSkew(obsv.BuildSync(events)))
+	return 0, nil
+}
+
 // metricsDoc reads the single metrics document the observatory subcommands
 // operate on, requiring a non-empty blocks section.
 func metricsDoc(cmd string, args []string) (*obsv.Snapshot, error) {
@@ -593,6 +639,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		code, err = cmdRaces(rest, stdout)
 	case "migrations":
 		code, err = cmdMigrations(rest, stdout)
+	case "sync":
+		code, err = cmdSync(rest, stdout, stderr)
+	case "skew":
+		code, err = cmdSkew(rest, stdout)
 	case "blocks":
 		code, err = cmdBlocks(rest, stdout, stderr)
 	case "falseshare":

@@ -226,6 +226,13 @@ func TestGolden(t *testing.T) {
 		{"check-gapped", []string{"check", "testdata/filtered.jsonl"}, 0},
 		{"races-clean", []string{"races", "testdata/small.jsonl"}, 0},
 		{"races-racy", []string{"races", "testdata/racy.jsonl"}, 1},
+		{"sync", []string{"sync", "-top", "3", "testdata/small.jsonl"}, 0},
+		// filtered.jsonl carries no sync events at all: the sync and skew
+		// reports must degrade to gapped/empty accounting, still exit 0.
+		{"sync-gapped", []string{"sync", "testdata/filtered.jsonl"}, 0},
+		{"sync-racy", []string{"sync", "-top", "2", "testdata/racy.jsonl"}, 0},
+		{"skew", []string{"skew", "testdata/small.jsonl"}, 0},
+		{"skew-gapped", []string{"skew", "testdata/filtered.jsonl"}, 0},
 		{"migrations", []string{"migrations", "testdata/migrate.jsonl"}, 0},
 		{"migrations-none", []string{"migrations", "testdata/small.jsonl"}, 0},
 		{"migrations-timeline", []string{"timeline", "0", "testdata/migrate.jsonl"}, 0},
@@ -316,6 +323,11 @@ func TestExitCodes(t *testing.T) {
 		{"spans-no-file", []string{"spans"}, 2},
 		{"spans-on-metrics", []string{"spans", "testdata/bench.json"}, 2},
 		{"phases-bad-flag", []string{"phases", "-w", "x", "testdata/small.jsonl"}, 2},
+		{"sync-no-files", []string{"sync"}, 2},
+		{"sync-bad-flag", []string{"sync", "-top", "x", "testdata/small.jsonl"}, 2},
+		{"sync-on-metrics", []string{"sync", "testdata/bench.json"}, 2},
+		{"skew-no-files", []string{"skew"}, 2},
+		{"skew-on-metrics", []string{"skew", "testdata/bench.json"}, 2},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -339,6 +351,7 @@ func TestUsageDocumentsExitCodes(t *testing.T) {
 		"exit status", "summarize", "filter", "timeline", "diff", "check",
 		"critpath", "export-chrome", "breakdown", "hist",
 		"blocks", "falseshare", "advise", "races", "spans", "phases",
+		"sync", "skew",
 		"0  success", "1  analysis found", "2  usage",
 	} {
 		if !strings.Contains(stderr.String(), want) {

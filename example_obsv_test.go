@@ -61,7 +61,7 @@ func ExampleCollectorTracer() {
 	fmt.Println("misses:", counts["miss"])
 	fmt.Println("installs:", counts["install"])
 	// Output:
-	// events: 124
+	// events: 148
 	// misses: 1
 	// installs: 1
 }

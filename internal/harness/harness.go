@@ -89,6 +89,7 @@ var Experiments = []Experiment{
 	{"scale", "16-256 processor sweep: hierarchical topologies, scheduler wall-clock, bit-identity at scale", Scale},
 	{"tail", "Tail-latency observatory: flat vs hierarchical topology, span-derived p99 and stage attribution", Tail},
 	{"migrate", "Online home migration: misplaced blocks re-home to their traffic, off vs on", Migrate},
+	{"contention", "Synchronization contention observatory: per-lock/barrier telemetry, flat vs hierarchical barrier", Contention},
 }
 
 // ByID returns the experiment with the given ID.

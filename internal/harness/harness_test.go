@@ -13,7 +13,7 @@ import (
 func TestExperimentRegistry(t *testing.T) {
 	wantIDs := []string{"table1", "table2", "table3", "fig3", "fig4", "fig5",
 		"fig6", "fig7", "fig8", "micro", "anl", "ablate", "profile", "pdes",
-		"sharing", "races", "scale", "tail", "migrate"}
+		"sharing", "races", "scale", "tail", "migrate", "contention"}
 	if len(Experiments) != len(wantIDs) {
 		t.Fatalf("have %d experiments, want %d", len(Experiments), len(wantIDs))
 	}

@@ -114,9 +114,9 @@ func TestCompareBenchSnapshots(t *testing.T) {
 	new := &BenchSnapshot{
 		Schema: BenchSchema, Label: "new", CalibrationNs: 50,
 		Scenarios: []BenchScenario{
-			{Name: "a", WallNs: 520, Cycles: 5, Checksum: 1.5},  // +4%: ok
-			{Name: "b", WallNs: 600, Cycles: 5, Checksum: 1.5},  // +20%: regressed
-			{Name: "c", WallNs: 500, Cycles: 6, Checksum: 1.5},  // diverged
+			{Name: "a", WallNs: 520, Cycles: 5, Checksum: 1.5}, // +4%: ok
+			{Name: "b", WallNs: 600, Cycles: 5, Checksum: 1.5}, // +20%: regressed
+			{Name: "c", WallNs: 500, Cycles: 6, Checksum: 1.5}, // diverged
 			{Name: "new", WallNs: 500, Cycles: 5, Checksum: 1.5},
 		},
 	}

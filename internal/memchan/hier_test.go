@@ -114,8 +114,8 @@ func TestLinkShardsReduceContention(t *testing.T) {
 		e.Run(func(p *sim.Proc) {
 			switch p.ID {
 			case 0:
-				nw.Send(p, 4, 2048, 1)  // node 1: lane 1%shards
-				nw.Send(p, 8, 2048, 2)  // node 2: lane 2%shards
+				nw.Send(p, 4, 2048, 1) // node 1: lane 1%shards
+				nw.Send(p, 8, 2048, 2) // node 2: lane 2%shards
 			case 4, 8:
 				p.WaitRecv(stats.Read, "t")
 				at := p.Now()

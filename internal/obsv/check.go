@@ -151,7 +151,7 @@ func (c *Checker) Event(e protocol.TraceEvent) {
 		if e.Seq <= c.lastSeq {
 			c.violations = append(c.violations, Violation{
 				Rule: "seq-monotone", Seq: e.Seq, Time: e.Time, Proc: e.Proc,
-				Block: e.BaseLine,
+				Block:  e.BaseLine,
 				Detail: fmt.Sprintf("seq %d not above previous %d", e.Seq, c.lastSeq),
 			})
 		} else if e.Seq != c.lastSeq+1 && !c.gapped {
@@ -166,7 +166,7 @@ func (c *Checker) Event(e protocol.TraceEvent) {
 	if t, ok := c.procTime[e.Proc]; ok && e.Time < t {
 		c.violations = append(c.violations, Violation{
 			Rule: "time-monotone", Seq: e.Seq, Time: e.Time, Proc: e.Proc,
-			Block: e.BaseLine,
+			Block:  e.BaseLine,
 			Detail: fmt.Sprintf("t %d below processor's previous %d", e.Time, t),
 		})
 	}

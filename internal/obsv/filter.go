@@ -25,7 +25,10 @@ type Filter struct {
 	Ops map[string]bool
 	// Blocks restricts to events whose block falls in any of these
 	// ranges; empty means all. Non-block events (BaseLine -1, i.e. sync
-	// and batch markers) only pass when a range covers -1.
+	// and batch markers) always pass a Blocks filter: a block predicate
+	// narrows the data traffic, it must not silence the synchronization
+	// backbone the downstream analyzers (races, sync, skew) order the
+	// trace by. Use -op to drop sync events explicitly.
 	Blocks []BlockRange
 	// Sample keeps every Sample-th matching event (1-in-N sampling,
 	// counted after the predicates); 0 or 1 keeps all of them. Sequence
@@ -45,7 +48,7 @@ func (f *Filter) Match(e protocol.TraceEvent) bool {
 	if len(f.Ops) > 0 && !f.Ops[e.Op] {
 		return false
 	}
-	if len(f.Blocks) > 0 {
+	if len(f.Blocks) > 0 && e.BaseLine >= 0 {
 		ok := false
 		for _, r := range f.Blocks {
 			if r.Contains(e.BaseLine) {

@@ -129,6 +129,32 @@ type Histogram struct {
 	Count   int64   `json:"count"`
 }
 
+// SyncMetrics is one application synchronization primitive's row of the
+// per-primitive contention table: a lock allocated by AllocLock, or the
+// global barrier. Counters are summed across processors from the
+// requester-side shards; unlike the other counters they cover the whole run
+// (they are not reset by mid-run stat resets), so they reconcile exactly
+// with totals derived from a full trace. Added in a compatible extension of
+// metrics v1 (see OBSERVABILITY.md §12).
+type SyncMetrics struct {
+	Kind string `json:"kind"` // "lock" or "barrier"
+	ID   int    `json:"id"`
+	// Acquires counts completed lock acquisitions, Contended the subset
+	// granted off the release path (another processor held the lock).
+	Acquires  int64 `json:"acquires,omitempty"`
+	Contended int64 `json:"contended,omitempty"`
+	// WaitCycles is total acquire-to-grant (or barrier arrive-to-depart)
+	// stall time; HoldCycles total grant-to-release time.
+	WaitCycles int64 `json:"wait_cycles"`
+	HoldCycles int64 `json:"hold_cycles,omitempty"`
+	// Handoffs classifies lock grants by the previous holder's topological
+	// distance ("self", "node", "group", "remote"); only non-zero classes
+	// appear.
+	Handoffs map[string]int64 `json:"handoffs,omitempty"`
+	// Generations is the number of completed barrier generations.
+	Generations int64 `json:"generations,omitempty"`
+}
+
 // Snapshot is the metrics document: one run's counters frozen at snapshot
 // time. Because the simulator is deterministic and JSON object keys are
 // emitted in sorted order, two runs of the same program and configuration
@@ -158,6 +184,10 @@ type Snapshot struct {
 	// OBSERVABILITY.md §7).
 	Blocks      []BlockMetrics `json:"blocks,omitempty"`
 	BlocksTotal int            `json:"blocks_total,omitempty"`
+	// Sync is the per-primitive application synchronization table, sorted
+	// locks-then-barrier by id. Added in a compatible extension of metrics
+	// v1 (see OBSERVABILITY.md §12).
+	Sync []SyncMetrics `json:"sync,omitempty"`
 }
 
 func timeByMap(p *stats.Proc) map[string]int64 {
@@ -298,6 +328,29 @@ func Snap(sys *protocol.System) *Snapshot {
 	}
 
 	s.Blocks, s.BlocksTotal = buildBlocks(sys)
+
+	ids, syncTotals := run.SyncTotals()
+	for i, id := range ids {
+		st := &syncTotals[i]
+		sm := SyncMetrics{
+			Kind:        id.Kind.String(),
+			ID:          id.ID,
+			Acquires:    st.Acquires,
+			Contended:   st.Contended,
+			WaitCycles:  st.WaitCycles,
+			HoldCycles:  st.HoldCycles,
+			Generations: st.Generations,
+		}
+		for c, n := range st.Handoffs {
+			if n > 0 {
+				if sm.Handoffs == nil {
+					sm.Handoffs = map[string]int64{}
+				}
+				sm.Handoffs[stats.HandoffClassName(c)] = n
+			}
+		}
+		s.Sync = append(s.Sync, sm)
+	}
 
 	s.Procs = make([]ProcMetrics, len(run.Procs))
 	for i := range run.Procs {

@@ -24,10 +24,10 @@ import (
 // yields an empty report.
 func MigrationReport(events []protocol.TraceEvent) string {
 	type chain struct {
-		block      int
-		homes      []int
-		forwards   int
-		migs       int
+		block       int
+		homes       []int
+		forwards    int
+		migs        int
 		first, last int64
 	}
 	chains := map[int]*chain{}

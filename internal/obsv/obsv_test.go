@@ -132,11 +132,19 @@ func TestFilter(t *testing.T) {
 	if got := run(&obsv.Filter{Ops: map[string]bool{"miss": true}}); len(got) != 2 {
 		t.Fatalf("op filter kept %d, want 2", len(got))
 	}
-	if got := run(&obsv.Filter{Blocks: []obsv.BlockRange{{Lo: 1, Hi: 8}}}); len(got) != 1 || got[0].BaseLine != 8 {
+	// A block filter narrows the data traffic but must never silence the
+	// synchronization backbone: BaseLine -1 events (sync, batch markers)
+	// always pass Blocks ranges.
+	got := run(&obsv.Filter{Blocks: []obsv.BlockRange{{Lo: 1, Hi: 8}}})
+	if len(got) != 2 || got[0].BaseLine != -1 || got[0].Op != "sync" || got[1].BaseLine != 8 {
 		t.Fatalf("block filter kept %v", got)
 	}
+	// Even a range that cannot contain -1 keeps them.
+	if got := run(&obsv.Filter{Blocks: []obsv.BlockRange{{Lo: 100, Hi: 200}}}); len(got) != 1 || got[0].Op != "sync" {
+		t.Fatalf("block filter dropped sync events: %v", got)
+	}
 	// Conjunction of predicates.
-	got := run(&obsv.Filter{Procs: map[int]bool{4: true}, Ops: map[string]bool{"send": true}})
+	got = run(&obsv.Filter{Procs: map[int]bool{4: true}, Ops: map[string]bool{"send": true}})
 	if len(got) != 1 || got[0].Msg != "ReadReq" {
 		t.Fatalf("conjunction kept %v", got)
 	}

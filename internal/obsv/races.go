@@ -116,6 +116,10 @@ type RaceWitness struct {
 	Time int64
 	Op   string
 	Msg  string
+	// Prim names the synchronization primitive of the witness event
+	// ("lock <id>" or "barrier"; see SyncPrim), "" when the witness is
+	// not a sync event: the sync edge whose ordering the race escaped.
+	Prim string
 	// After counts the first processor's events from the witness to the
 	// racing access: the length of the unordered suffix the race sits in.
 	After int
@@ -189,12 +193,12 @@ type raceDetector struct {
 	events []protocol.TraceEvent
 	np     int
 
-	po   []int      // per-processor program-order counter
-	vc   [][]int    // per-processor happens-before frontier (vector clock)
-	evOf [][]int    // per-processor event indices in program order
-	arr  [][]genPo  // per-processor barrier arrivals, ascending gen
+	po   []int     // per-processor program-order counter
+	vc   [][]int   // per-processor happens-before frontier (vector clock)
+	evOf [][]int   // per-processor event indices in program order
+	arr  [][]genPo // per-processor barrier arrivals, ascending gen
 
-	sendVC      map[int][]int    // sync send event index -> frontier snapshot
+	sendVC      map[int][]int // sync send event index -> frontier snapshot
 	pendingSync map[syncKey][]int
 	blocks      map[int]*blockAccesses
 	seen        map[racePair]bool
@@ -437,7 +441,8 @@ func (d *raceDetector) record(b int, overlap uint64, q int, first *access, bound
 	if bound > 0 {
 		we := &d.events[d.evOf[q][bound-1]]
 		r.Witness = RaceWitness{Ok: true, Seq: we.Seq, Time: we.Time,
-			Op: we.Op, Msg: we.Msg, After: first.po - bound}
+			Op: we.Op, Msg: we.Msg, Prim: SyncPrim(we.Op, we.Msg, we.Detail),
+			After: first.po - bound}
 	}
 	d.rep.Races = append(d.rep.Races, r)
 }
@@ -506,6 +511,9 @@ func (r *RaceReport) Format() string {
 			ev := rc.Witness.Op
 			if rc.Witness.Msg != "" {
 				ev += " " + rc.Witness.Msg
+			}
+			if rc.Witness.Prim != "" {
+				ev += " [" + rc.Witness.Prim + "]"
 			}
 			fmt.Fprintf(&b, "  witness: p%d's last event ordered before [b] is seq=%d t=%d (%s); [a] follows %d p%d events later, unordered with [b]\n",
 				rc.First.Proc, rc.Witness.Seq, rc.Witness.Time, ev, rc.Witness.After, rc.First.Proc)

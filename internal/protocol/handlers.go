@@ -22,7 +22,14 @@ func (p *Proc) send(dst int, m *pmsg, cat stats.TimeCategory) {
 	c := p.sys.cfg.Costs
 	p.charge(cat, c.SendOverhead)
 	if m.kind != mWake {
-		p.trace("send", m.kind.String(), m.baseLine, "to p%d seq=%d acks=%d", dst, m.seq, m.acks)
+		// Sync messages name their primitive (lock id, or barrier
+		// generation) so the sync analyzer and race witnesses can
+		// attribute them; prefix parsers ("to p<dst>") are unaffected.
+		if m.kind.syncMsg() {
+			p.trace("send", m.kind.String(), m.baseLine, "to p%d seq=%d acks=%d id=%d", dst, m.seq, m.acks, m.id)
+		} else {
+			p.trace("send", m.kind.String(), m.baseLine, "to p%d seq=%d acks=%d", dst, m.seq, m.acks)
+		}
 		switch {
 		case m.kind == mDowngradeToShared || m.kind == mDowngradeToInvalid:
 			p.st.Messages[stats.DowngradeMsg]++
@@ -91,6 +98,8 @@ func (p *Proc) handle(m *pmsg) {
 		detail := ""
 		if m.baseLine >= 0 {
 			detail = p.traceState(m.baseLine)
+		} else if m.kind.syncMsg() {
+			detail = fmt.Sprintf("id=%d", m.id)
 		}
 		p.trace("handle", m.kind.String(), m.baseLine, "from R%d seq=%d: %s",
 			m.requester, m.seq, detail)

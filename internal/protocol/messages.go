@@ -91,6 +91,16 @@ func (k msgKind) spanReply() bool {
 	return k == mDataReply || k == mDataExclReply || k == mUpgradeAck
 }
 
+// syncMsg reports whether the kind is application synchronization traffic,
+// whose send and handle trace details carry the primitive id.
+func (k msgKind) syncMsg() bool {
+	switch k {
+	case mLockReq, mLockGrant, mLockRel, mBarArrive, mBarGo:
+		return true
+	}
+	return false
+}
+
 // pmsg is the payload of every protocol message.
 type pmsg struct {
 	kind msgKind
@@ -107,8 +117,15 @@ type pmsg struct {
 	// hops is 2 when the reply comes from the home, 3 when it comes from
 	// a third processor, for the Figure 6 classification.
 	hops int
-	// id is a lock or barrier identifier for synchronization messages.
+	// id is a lock or barrier identifier for synchronization messages:
+	// the lock id for lock traffic, the barrier generation for arrivals
+	// and releases.
 	id int
+	// prev, on lock grants, names the lock's previous holder (-1 for the
+	// first-ever grant); with hops (2 = granted immediately by the
+	// manager, 3 = handed off from a release) it lets the requester
+	// classify the hand-off for the per-primitive sync statistics.
+	prev int
 	// issueTime is copied from the original request so latency can be
 	// measured at reply processing.
 	issueTime int64

@@ -67,6 +67,18 @@ type Proc struct {
 	lockGranted map[int]bool  // grants received, consumed by LockAcquire
 	barCount    int           // arrivals (barrier manager, proc 0)
 	barGen      int           // completed barrier generations observed
+
+	// Application sync telemetry. Manager side: lockPrev names each homed
+	// lock's previous holder, carried on grants. Requester side:
+	// lockGrantPrev/lockGrantHops stage the latest grant's hand-off info
+	// for LockAcquire, and lockHeldFrom the grant-completion time of each
+	// held lock for the hold-cycle statistics. All are own-proc state, so
+	// the per-primitive counters stay domain-local under the parallel
+	// scheduler.
+	lockPrev      map[int]int
+	lockGrantPrev map[int]int
+	lockGrantHops map[int]int
+	lockHeldFrom  map[int]int64
 }
 
 // ID returns the processor's index.

@@ -80,8 +80,17 @@ func (p *Proc) releaseStores() {
 
 // LockAcquire acquires application lock id, stalling in sync time until the
 // lock manager grants it.
+//
+// The acquire brackets itself in the trace: a "lock-acquire id=<id>" sync
+// event at the stall's start and a "lock-acquired id=<id> prev=<p> hops=<h>"
+// event at the grant, naming the previous holder (-1 for the first grant)
+// and the acquire's hop count (2 = granted immediately by the manager,
+// 3 = handed off from a release). The per-primitive sync counters record
+// the same instants, so the trace-derived wait and the counted WaitCycles
+// reconcile exactly.
 func (p *Proc) LockAcquire(id int) {
 	p.poll()
+	t0 := p.sp.Now()
 	p.trace("sync", "", -1, "lock-acquire id=%d", id)
 	home := p.sys.lockHome(id)
 	p.send(home, &pmsg{kind: mLockReq, baseLine: -1, id: id, requester: p.id}, stats.Sync)
@@ -89,13 +98,46 @@ func (p *Proc) LockAcquire(id int) {
 		return p.lockGranted[id]
 	})
 	p.lockGranted[id] = false
+	prev, hops := p.lockGrantPrev[id], p.lockGrantHops[id]
+	t1 := p.sp.Now()
+	p.trace("sync", "", -1, "lock-acquired id=%d prev=%d hops=%d", id, prev, hops)
+	st := p.st.Sync(stats.SyncLock, id)
+	st.Acquires++
+	if hops == 3 {
+		st.Contended++
+	}
+	st.WaitCycles += t1 - t0
+	if prev >= 0 {
+		st.Handoffs[p.handoffClass(prev)]++
+	}
+	p.lockHeldFrom[id] = t1
+}
+
+// handoffClass classifies a lock hand-off by the previous holder's
+// topological distance from this processor.
+func (p *Proc) handoffClass(prev int) int {
+	switch {
+	case prev == p.id:
+		return stats.HandoffSelf
+	case p.sys.net.SameNode(prev, p.id):
+		return stats.HandoffNode
+	case p.sys.net.Topology().SameNodeGroup(prev, p.id):
+		return stats.HandoffGroup
+	default:
+		return stats.HandoffRemote
+	}
 }
 
 // LockRelease releases application lock id, first performing the
 // release-consistency store wait.
 func (p *Proc) LockRelease(id int) {
 	p.poll()
+	t := p.sp.Now()
 	p.trace("sync", "", -1, "lock-release id=%d", id)
+	if from, ok := p.lockHeldFrom[id]; ok {
+		p.st.Sync(stats.SyncLock, id).HoldCycles += t - from
+		delete(p.lockHeldFrom, id)
+	}
 	p.releaseStores()
 	home := p.sys.lockHome(id)
 	p.send(home, &pmsg{kind: mLockRel, baseLine: -1, id: id, requester: p.id}, stats.Sync)
@@ -108,24 +150,35 @@ func (p *Proc) LockRelease(id int) {
 // arriver of each group exchanges messages with the barrier manager, and
 // the group's representative releases its members through shared memory —
 // the paper's planned SMP-aware synchronization.
+//
+// The arrival traces "barrier gen=<g>" and the release "barrier-depart
+// gen=<g>", bracketing each processor's wait; the barrier's per-primitive
+// counters record the same two instants, so the trace-derived arrival and
+// departure skews reconcile exactly with the counted WaitCycles.
 func (p *Proc) Barrier() {
 	p.poll()
-	p.trace("sync", "", -1, "barrier gen=%d", p.barGen)
-	p.releaseStores()
+	t0 := p.sp.Now()
 	gen := p.barGen
+	p.trace("sync", "", -1, "barrier gen=%d", gen)
+	p.releaseStores()
 	if p.sys.cfg.FastSync && p.sys.cfg.SMP() && !p.sys.cfg.Hardware {
 		g := p.grp
 		p.charge(stats.Sync, p.sys.cfg.Costs.HWBarrierPerProc)
 		g.fsArrived++
 		if g.fsArrived == len(g.members) {
 			g.fsArrived = 0
-			p.send(0, &pmsg{kind: mBarArrive, baseLine: -1, requester: p.id}, stats.Sync)
+			p.send(0, &pmsg{kind: mBarArrive, baseLine: -1, id: gen, requester: p.id}, stats.Sync)
 		}
 		p.stallUntil(stats.Sync, "barrier", func() bool { return p.barGen > gen })
-		return
+	} else {
+		p.send(0, &pmsg{kind: mBarArrive, baseLine: -1, id: gen, requester: p.id}, stats.Sync)
+		p.stallUntil(stats.Sync, "barrier", func() bool { return p.barGen > gen })
 	}
-	p.send(0, &pmsg{kind: mBarArrive, baseLine: -1, requester: p.id}, stats.Sync)
-	p.stallUntil(stats.Sync, "barrier", func() bool { return p.barGen > gen })
+	t1 := p.sp.Now()
+	p.trace("sync", "", -1, "barrier-depart gen=%d", gen)
+	st := p.st.Sync(stats.SyncBarrier, 0)
+	st.Generations++
+	st.WaitCycles += t1 - t0
 }
 
 // handleSync processes lock and barrier messages.
@@ -137,7 +190,7 @@ func (p *Proc) handleSync(m *pmsg) {
 		if !p.lockHeld[m.id] && len(q) == 0 {
 			p.lockHeld[m.id] = true
 			p.lockQueues[m.id] = []int{m.requester}
-			p.send(m.requester, &pmsg{kind: mLockGrant, baseLine: -1, id: m.id}, stats.Message)
+			p.sendGrant(m.id, m.requester, 2)
 			return
 		}
 		p.lockQueues[m.id] = append(q, m.requester)
@@ -150,23 +203,28 @@ func (p *Proc) handleSync(m *pmsg) {
 		q = q[1:]
 		p.lockQueues[m.id] = q
 		if len(q) > 0 {
-			p.send(q[0], &pmsg{kind: mLockGrant, baseLine: -1, id: m.id}, stats.Message)
+			p.sendGrant(m.id, q[0], 3)
 		} else {
 			p.lockHeld[m.id] = false
 		}
 
 	case mLockGrant:
+		p.lockGrantPrev[m.id], p.lockGrantHops[m.id] = m.prev, m.hops
 		p.lockGranted[m.id] = true
 
 	case mBarArrive:
 		p.barCount++
 		if p.barCount == p.sys.barrierArrivals() {
 			p.barCount = 0
+			// The manager's own barGen is the generation being completed
+			// (it has not departed yet); releases carry it as the
+			// primitive id.
+			gen := p.barGen
 			if p.sys.fastSyncBarrier() {
 				// Release one representative per group; it releases its
 				// group members through shared memory.
 				for _, g := range p.sys.groups {
-					p.send(g.members[0], &pmsg{kind: mBarGo, baseLine: -1}, stats.Message)
+					p.send(g.members[0], &pmsg{kind: mBarGo, baseLine: -1, id: gen}, stats.Message)
 				}
 				return
 			}
@@ -174,7 +232,7 @@ func (p *Proc) handleSync(m *pmsg) {
 				if q == p.id {
 					continue
 				}
-				p.send(q, &pmsg{kind: mBarGo, baseLine: -1}, stats.Message)
+				p.send(q, &pmsg{kind: mBarGo, baseLine: -1, id: gen}, stats.Message)
 			}
 			p.barGen++ // the manager's own arrival completes locally
 		}
@@ -189,6 +247,19 @@ func (p *Proc) handleSync(m *pmsg) {
 		}
 		p.barGen++
 	}
+}
+
+// sendGrant grants lock id to dst, naming the lock's previous holder (-1
+// for the first grant) and the acquire's hop count: 2 when the manager
+// granted the request immediately, 3 when the grant rode on a release.
+func (p *Proc) sendGrant(id, dst, hops int) {
+	prev, ok := p.lockPrev[id]
+	if !ok {
+		prev = -1
+	}
+	p.lockPrev[id] = dst
+	p.send(dst, &pmsg{kind: mLockGrant, baseLine: -1, id: id,
+		requester: dst, prev: prev, hops: hops}, stats.Message)
 }
 
 // ResetStats zeroes the statistics and marks the start of the measured

@@ -249,6 +249,10 @@ func New(cfg Config) *System {
 		p.lockQueues = make(map[int][]int)
 		p.lockHeld = make(map[int]bool)
 		p.lockGranted = make(map[int]bool)
+		p.lockPrev = make(map[int]int)
+		p.lockGrantPrev = make(map[int]int)
+		p.lockGrantHops = make(map[int]int)
+		p.lockHeldFrom = make(map[int]int64)
 		s.procs[i] = p
 	}
 

@@ -31,7 +31,7 @@ func TestBlockArenaAmortizesAllocation(t *testing.T) {
 	allocs := testing.AllocsPerRun(5, func() {
 		var p Proc
 		for i := 0; i < blocks; i++ {
-			p.Block(i * 64).InvalsRecv++
+			p.Block(i*64).InvalsRecv++
 		}
 	})
 	if allocs > blocks/4 {

@@ -128,6 +128,129 @@ func (c MsgClass) String() string {
 // block downgrade can require (the other processors of a 4-processor node).
 const MaxDowngradeFanout = 3
 
+// SyncKind classifies an application synchronization primitive.
+type SyncKind int
+
+// The application synchronization primitive kinds.
+const (
+	// SyncLock is a message-based queue lock allocated by AllocLock.
+	SyncLock SyncKind = iota
+	// SyncBarrier is the global barrier (there is exactly one, id 0).
+	SyncBarrier
+
+	// NumSyncKinds is the number of primitive kinds.
+	NumSyncKinds
+)
+
+// String returns a short label for the primitive kind.
+func (k SyncKind) String() string {
+	switch k {
+	case SyncLock:
+		return "lock"
+	case SyncBarrier:
+		return "barrier"
+	default:
+		return fmt.Sprintf("SyncKind(%d)", int(k))
+	}
+}
+
+// SyncID identifies one application synchronization primitive: a lock id
+// from AllocLock, or the global barrier (kind SyncBarrier, ID 0).
+type SyncID struct {
+	Kind SyncKind
+	ID   int
+}
+
+// Less orders primitives for deterministic reports: locks first by id, then
+// the barrier.
+func (a SyncID) Less(b SyncID) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	return a.ID < b.ID
+}
+
+// Lock hand-off hop-distance classes: how far a lock travelled from its
+// previous holder to the processor it was granted to, in units of the
+// cluster topology. A grant with no previous holder (the lock's first
+// acquisition) is not a hand-off and is not classified.
+const (
+	// HandoffSelf: the previous holder is the new holder (re-acquisition).
+	HandoffSelf = iota
+	// HandoffNode: previous holder on the same SMP node.
+	HandoffNode
+	// HandoffGroup: same uplink group, different node (hierarchical
+	// topologies only; on flat topologies every cross-node hand-off is
+	// HandoffRemote).
+	HandoffGroup
+	// HandoffRemote: previous holder across the interconnect.
+	HandoffRemote
+
+	// NumHandoffClasses is the number of hand-off classes.
+	NumHandoffClasses
+)
+
+// HandoffClassName returns the report label of a hand-off class.
+func HandoffClassName(c int) string {
+	switch c {
+	case HandoffSelf:
+		return "self"
+	case HandoffNode:
+		return "node"
+	case HandoffGroup:
+		return "group"
+	case HandoffRemote:
+		return "remote"
+	default:
+		return fmt.Sprintf("handoff(%d)", c)
+	}
+}
+
+// SyncStat accumulates one processor's application-synchronization activity
+// on a single primitive, counted on the requester side so each processor
+// updates only its own shard (race-free under the parallel scheduler).
+//
+// Unlike the other counters these are NOT subtracted by mid-run stat resets
+// (see Proc.Sub): traces span the whole run, and the observability contract
+// requires the per-primitive wait and hold totals here to reconcile exactly
+// with the totals the sync analyzer derives from the trace. They therefore
+// stay cumulative from the start of the run, like the per-block offset
+// masks.
+type SyncStat struct {
+	// Acquires counts completed lock acquisitions by this processor;
+	// Contended the subset granted off the release path (hops=3) rather
+	// than immediately by the manager (hops=2).
+	Acquires  int64
+	Contended int64
+
+	// WaitCycles is the virtual time from the acquire (or barrier arrival)
+	// to the grant (or barrier departure); HoldCycles the time from a lock
+	// grant to its release.
+	WaitCycles int64
+	HoldCycles int64
+
+	// Handoffs classifies this processor's lock grants by the previous
+	// holder's topological distance (HandoffSelf..HandoffRemote). The
+	// lock's first-ever grant has no previous holder and is not counted.
+	Handoffs [NumHandoffClasses]int64
+
+	// Generations counts barrier departures by this processor (barrier
+	// primitive only; every processor departs every generation).
+	Generations int64
+}
+
+// add accumulates o into s.
+func (s *SyncStat) add(o *SyncStat) {
+	s.Acquires += o.Acquires
+	s.Contended += o.Contended
+	s.WaitCycles += o.WaitCycles
+	s.HoldCycles += o.HoldCycles
+	for c := range s.Handoffs {
+		s.Handoffs[c] += o.Handoffs[c]
+	}
+	s.Generations += o.Generations
+}
+
 // NumLatencyBuckets is the number of power-of-two latency histogram buckets.
 // Bucket b counts samples in [2^(b-1), 2^b) cycles (bucket 0 counts
 // zero-cycle samples); the last bucket absorbs everything above 2^26 cycles
@@ -266,6 +389,13 @@ type Proc struct {
 	// each (a measurable share of host allocation churn at high processor
 	// counts).
 	blockArena []BlockStat
+
+	// Syncs attributes this processor's application synchronization to
+	// individual primitives (locks and the barrier), keyed by primitive.
+	// Counted on the requester side only, so like Blocks each processor
+	// updates its own shard. Cumulative across mid-run resets — see
+	// SyncStat. Allocated lazily by Sync.
+	Syncs map[SyncID]*SyncStat
 }
 
 // blockArenaChunk is the number of BlockStat values one arena chunk holds.
@@ -349,6 +479,21 @@ func (p *Proc) Block(base int) *BlockStat {
 	return b
 }
 
+// Sync returns the per-primitive shard for one synchronization primitive,
+// allocating it (and the Syncs map) on first touch.
+func (p *Proc) Sync(kind SyncKind, id int) *SyncStat {
+	k := SyncID{Kind: kind, ID: id}
+	s := p.Syncs[k]
+	if s == nil {
+		if p.Syncs == nil {
+			p.Syncs = make(map[SyncID]*SyncStat)
+		}
+		s = &SyncStat{}
+		p.Syncs[k] = s
+	}
+	return s
+}
+
 // Clone returns a deep copy of the counters. The statistics fence callback
 // must use it when recording baselines: a shallow struct copy would alias the
 // live Blocks map and the end-of-run subtraction would then zero itself out.
@@ -362,6 +507,13 @@ func (p *Proc) Clone() Proc {
 		for base, b := range p.Blocks {
 			cb := *b
 			c.Blocks[base] = &cb
+		}
+	}
+	if p.Syncs != nil {
+		c.Syncs = make(map[SyncID]*SyncStat, len(p.Syncs))
+		for k, s := range p.Syncs {
+			cs := *s
+			c.Syncs[k] = &cs
 		}
 	}
 	return c
@@ -625,6 +777,42 @@ func (r *Run) HandlerOccupancy() (cycles, events int64) {
 	return cycles, events
 }
 
+// SyncTotals aggregates the per-primitive synchronization shards across
+// processors. The returned primitives are sorted (locks by id, then the
+// barrier), each paired with the summed counters; the barrier's Generations
+// is the maximum across processors — the number of completed generations —
+// rather than the sum of every processor's departures.
+func (r *Run) SyncTotals() ([]SyncID, []SyncStat) {
+	byID := map[SyncID]*SyncStat{}
+	for i := range r.Procs {
+		for k, s := range r.Procs[i].Syncs {
+			t := byID[k]
+			if t == nil {
+				t = &SyncStat{}
+				byID[k] = t
+			}
+			gens := t.Generations
+			t.add(s)
+			if k.Kind == SyncBarrier {
+				t.Generations = gens
+				if s.Generations > t.Generations {
+					t.Generations = s.Generations
+				}
+			}
+		}
+	}
+	ids := make([]SyncID, 0, len(byID))
+	for k := range byID {
+		ids = append(ids, k)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+	out := make([]SyncStat, len(ids))
+	for i, k := range ids {
+		out[i] = *byID[k]
+	}
+	return ids, out
+}
+
 // LockHolds returns total line-lock hold cycles and acquisition count
 // across processors (zero under Base-Shasta).
 func (r *Run) LockHolds() (cycles, acquires int64) {
@@ -744,6 +932,9 @@ func (p *Proc) Sub(base *Proc) {
 			delete(p.Blocks, blk)
 		}
 	}
+	// The per-primitive sync shards are deliberately NOT subtracted: they
+	// must reconcile exactly with whole-run traces (see SyncStat), so like
+	// the offset masks they stay cumulative across mid-run resets.
 }
 
 // MissLatencyBy sums the latency histogram of one miss kind and home

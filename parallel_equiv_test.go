@@ -10,6 +10,8 @@ package shasta_test
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"reflect"
 	"testing"
 
 	"repro"
@@ -18,12 +20,14 @@ import (
 )
 
 // observedRun executes one application and serializes its observable
-// artifacts: the trace JSONL bytes, the metrics JSON bytes, the span report
-// derived from the trace, the parallel cycle count, and the workload
-// checksum. As a side effect it asserts the span layer's soundness
-// invariant on the run: a complete trace reconstructs with no drops and
-// every span's stage durations sum exactly to its end-to-end latency.
-func observedRun(t *testing.T, app string, cfg shasta.Config) (trace, metrics []byte, spans string, cycles int64, sum float64) {
+// artifacts: the trace JSONL bytes, the metrics JSON bytes, the span and
+// sync reports derived from the trace, the parallel cycle count, and the
+// workload checksum. As a side effect it asserts two soundness invariants
+// on the run: a complete trace reconstructs spans with no drops and every
+// span's stage durations sum exactly to its end-to-end latency, and the
+// trace-derived sync lifecycles reconcile exactly with the metrics
+// registry's per-primitive counters (both record the same instants).
+func observedRun(t *testing.T, app string, cfg shasta.Config) (trace, metrics []byte, spans, sync string, cycles int64, sum float64) {
 	t.Helper()
 	f, ok := apps.Registry[app]
 	if !ok {
@@ -65,7 +69,52 @@ func observedRun(t *testing.T, app string, cfg shasta.Config) (trace, metrics []
 				app, cfg.Parallel, ss.Spans[i].Seq, stageSum, ss.Spans[i].Total())
 		}
 	}
-	return tb.Bytes(), mb.Bytes(), obsv.FormatSpans(ss, 5), r.Result.ParallelCycles, r.Checksum
+	sync = checkSyncReconciles(t, app, cfg, col, r.Metrics)
+	return tb.Bytes(), mb.Bytes(), obsv.FormatSpans(ss, 5), sync, r.Result.ParallelCycles, r.Checksum
+}
+
+// checkSyncReconciles builds the sync observatory's report from the trace
+// and asserts that its per-lock wait and hold totals (and the barrier wait
+// total) equal the metrics registry's per-primitive counters exactly: the
+// protocol reads the virtual clock at the same instants it emits the
+// bracketing trace events.
+func checkSyncReconciles(t *testing.T, app string, cfg shasta.Config, col *shasta.CollectorTracer, m *shasta.Metrics) string {
+	t.Helper()
+	ss := obsv.BuildSync(col.Events)
+	if ss.Gapped || ss.DroppedTotal() != 0 {
+		t.Errorf("%s (parallel=%v): complete trace degraded: gapped=%v dropped=%v",
+			app, cfg.Parallel, ss.Gapped, ss.Dropped)
+	}
+	type tot struct {
+		acq, cont, wait, hold, gens int64
+	}
+	counted := map[string]tot{}
+	for i := range m.Sync {
+		s := &m.Sync[i]
+		key := s.Kind
+		if s.Kind == "lock" {
+			key = fmt.Sprintf("lock %d", s.ID)
+		}
+		counted[key] = tot{s.Acquires, s.Contended, s.WaitCycles, s.HoldCycles, s.Generations}
+	}
+	traced := map[string]tot{}
+	for i := range ss.Locks {
+		l := &ss.Locks[i]
+		traced[fmt.Sprintf("lock %d", l.ID)] = tot{
+			int64(len(l.Acquires)), int64(l.Contended), l.WaitTotal, l.HoldTotal, 0}
+	}
+	if len(ss.Gens) > 0 {
+		var wait int64
+		for i := range ss.Gens {
+			wait += ss.Gens[i].WaitTotal
+		}
+		traced["barrier"] = tot{wait: wait, gens: int64(len(ss.Gens))}
+	}
+	if !reflect.DeepEqual(counted, traced) {
+		t.Errorf("%s (parallel=%v): sync totals do not reconcile:\n  metrics %v\n  trace   %v",
+			app, cfg.Parallel, counted, traced)
+	}
+	return obsv.FormatSync(ss, 5) + obsv.FormatSkew(ss)
 }
 
 func TestParallelSchedulerBitIdentical(t *testing.T) {
@@ -75,9 +124,9 @@ func TestParallelSchedulerBitIdentical(t *testing.T) {
 	for _, app := range apps.Names {
 		t.Run(app, func(t *testing.T) {
 			cfg := shasta.Config{Procs: 8, Clustering: 4}
-			sTrace, sMetrics, sSpans, sCycles, sSum := observedRun(t, app, cfg)
+			sTrace, sMetrics, sSpans, sSync, sCycles, sSum := observedRun(t, app, cfg)
 			cfg.Parallel = true
-			pTrace, pMetrics, pSpans, pCycles, pSum := observedRun(t, app, cfg)
+			pTrace, pMetrics, pSpans, pSync, pCycles, pSum := observedRun(t, app, cfg)
 			if sCycles != pCycles {
 				t.Errorf("cycles differ: serial %d, parallel %d", sCycles, pCycles)
 			}
@@ -99,6 +148,10 @@ func TestParallelSchedulerBitIdentical(t *testing.T) {
 			if sSpans != pSpans {
 				t.Errorf("span report differs; first divergence:\n%s",
 					firstDiffContext([]byte(sSpans), []byte(pSpans)))
+			}
+			if sSync != pSync {
+				t.Errorf("sync report differs; first divergence:\n%s",
+					firstDiffContext([]byte(sSync), []byte(pSync)))
 			}
 			// The per-block sharing counters are the newest and most
 			// order-sensitive part of the snapshot (mask ORs, per-proc
@@ -131,9 +184,9 @@ func TestParallelSchedulerBitIdenticalMigrate(t *testing.T) {
 	for _, app := range apps.Names {
 		t.Run(app, func(t *testing.T) {
 			cfg := shasta.Config{Procs: 8, Clustering: 4, Migrate: true}
-			sTrace, sMetrics, sSpans, sCycles, sSum := observedRun(t, app, cfg)
+			sTrace, sMetrics, sSpans, sSync, sCycles, sSum := observedRun(t, app, cfg)
 			cfg.Parallel = true
-			pTrace, pMetrics, pSpans, pCycles, pSum := observedRun(t, app, cfg)
+			pTrace, pMetrics, pSpans, pSync, pCycles, pSum := observedRun(t, app, cfg)
 			if sCycles != pCycles {
 				t.Errorf("cycles differ: serial %d, parallel %d", sCycles, pCycles)
 			}
@@ -151,6 +204,10 @@ func TestParallelSchedulerBitIdenticalMigrate(t *testing.T) {
 			if sSpans != pSpans {
 				t.Errorf("span report differs; first divergence:\n%s",
 					firstDiffContext([]byte(sSpans), []byte(pSpans)))
+			}
+			if sSync != pSync {
+				t.Errorf("sync report differs; first divergence:\n%s",
+					firstDiffContext([]byte(sSync), []byte(pSync)))
 			}
 		})
 	}
@@ -168,8 +225,8 @@ func TestParallelSchedulerBitIdenticalAtScale(t *testing.T) {
 		t.Skip("64-processor runs under three schedulers")
 	}
 	base := shasta.Config{Procs: 64, Clustering: 4, NodesPerGroup: 4, HeapBytes: 4 << 20}
-	sTrace, sMetrics, sSpans, sCycles, sSum := observedRun(t, "LU", base)
-	mTrace, mMetrics, mSpans, mCycles, mSum := observedRun(t, "LU",
+	sTrace, sMetrics, sSpans, sSync, sCycles, sSum := observedRun(t, "LU", base)
+	mTrace, mMetrics, mSpans, mSync, mCycles, mSum := observedRun(t, "LU",
 		shasta.Config{Procs: 64, Clustering: 4, NodesPerGroup: 4, HeapBytes: 4 << 20, Migrate: true})
 	for _, mode := range []struct {
 		name    string
@@ -178,15 +235,15 @@ func TestParallelSchedulerBitIdenticalAtScale(t *testing.T) {
 	}{{"fixed-windows", true, false}, {"adaptive-windows", false, false},
 		{"migrate", false, true}} {
 		t.Run(mode.name, func(t *testing.T) {
-			sTrace, sMetrics, sSpans, sCycles, sSum := sTrace, sMetrics, sSpans, sCycles, sSum
+			sTrace, sMetrics, sSpans, sSync, sCycles, sSum := sTrace, sMetrics, sSpans, sSync, sCycles, sSum
 			if mode.migrate {
-				sTrace, sMetrics, sSpans, sCycles, sSum = mTrace, mMetrics, mSpans, mCycles, mSum
+				sTrace, sMetrics, sSpans, sSync, sCycles, sSum = mTrace, mMetrics, mSpans, mSync, mCycles, mSum
 			}
 			cfg := base
 			cfg.Parallel = true
 			cfg.FixedWindows = mode.fixed
 			cfg.Migrate = mode.migrate
-			pTrace, pMetrics, pSpans, pCycles, pSum := observedRun(t, "LU", cfg)
+			pTrace, pMetrics, pSpans, pSync, pCycles, pSum := observedRun(t, "LU", cfg)
 			if sCycles != pCycles {
 				t.Errorf("cycles differ: serial %d, parallel %d", sCycles, pCycles)
 			}
@@ -204,6 +261,10 @@ func TestParallelSchedulerBitIdenticalAtScale(t *testing.T) {
 			if sSpans != pSpans {
 				t.Errorf("span report differs; first divergence:\n%s",
 					firstDiffContext([]byte(sSpans), []byte(pSpans)))
+			}
+			if sSync != pSync {
+				t.Errorf("sync report differs; first divergence:\n%s",
+					firstDiffContext([]byte(sSync), []byte(pSync)))
 			}
 		})
 	}

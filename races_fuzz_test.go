@@ -27,10 +27,10 @@ import (
 
 const (
 	fuzzProcs   = 8
-	fuzzBlocks  = 8  // shared blocks the clean actions draw from
-	fuzzRounds  = 8  // barrier rounds per program
-	fuzzActions = 3  // actions attempted per round
-	fuzzSeeds   = 6  // programs fuzzed per verdict
+	fuzzBlocks  = 8 // shared blocks the clean actions draw from
+	fuzzRounds  = 8 // barrier rounds per program
+	fuzzActions = 3 // actions attempted per round
+	fuzzSeeds   = 6 // programs fuzzed per verdict
 )
 
 const (
